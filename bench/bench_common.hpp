@@ -1,0 +1,58 @@
+// Shared helpers for the table-reproduction benches: renders ExperimentRow
+// lists in the layout of the paper's Table 1 (Cycles | Th WP1 | Th WP2 |
+// WP2 vs WP1 %) plus our extra diagnostics, and mirrors rows to CSV when
+// WIREPIPE_CSV is set in the environment.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "proc/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace wp::bench {
+
+inline void print_table1(const std::string& title,
+                         const std::vector<proc::ExperimentRow>& rows,
+                         std::ostream& os = std::cout) {
+  TextTable table({"RS Configuration", "Cycles", "Th WP1", "Th WP2",
+                   "WP2 vs WP1 (%)", "static m/(m+n)", "checks"});
+  table.add_section(title);
+  table.add_separator();
+  int index = 1;
+  for (const auto& row : rows) {
+    const std::string checks =
+        (row.wp1_equivalent && row.wp2_equivalent && row.result_ok)
+            ? "ok"
+            : ("FAIL: " + row.detail);
+    table.add_row({std::to_string(index++) + "  " + row.label,
+                   std::to_string(row.wp2_cycles), fmt_fixed(row.th_wp1, 3),
+                   fmt_fixed(row.th_wp2, 3), fmt_percent(row.improvement),
+                   fmt_fixed(row.static_wp1, 3), checks});
+  }
+  table.print(os);
+  os << "Cycles column: WP2 run, as in the paper's Table 1 "
+        "(ideal row: golden cycles "
+     << (rows.empty() ? 0 : rows.front().golden_cycles) << ").\n\n";
+}
+
+/// Appends rows to $WIREPIPE_CSV (if set) for downstream plotting.
+inline void maybe_write_csv(const std::string& experiment,
+                            const std::vector<proc::ExperimentRow>& rows) {
+  const char* path = std::getenv("WIREPIPE_CSV");
+  if (path == nullptr) return;
+  std::ofstream file(path, std::ios::app);
+  CsvWriter csv(file);
+  for (const auto& row : rows) {
+    csv.row({experiment, row.label, std::to_string(row.golden_cycles),
+             std::to_string(row.wp1_cycles), std::to_string(row.wp2_cycles),
+             fmt_fixed(row.th_wp1, 6), fmt_fixed(row.th_wp2, 6),
+             fmt_fixed(row.improvement, 6), fmt_fixed(row.static_wp1, 6)});
+  }
+}
+
+}  // namespace wp::bench

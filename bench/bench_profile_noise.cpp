@@ -1,0 +1,103 @@
+// E11 (extension) — two studies of the supporting machinery:
+//   1. Communication profile of the case-study CPU (excitation rate per
+//      input) and its correlation with the measured per-connection WP2
+//      gains of Table 1 — the paper's "minimal knowledge of the IP's
+//      communication profile" made quantitative.
+//   2. Robustness: throughput degradation under random congestion noise,
+//      with correctness (equivalence) checked at every point.
+#include <iostream>
+
+#include "core/profile.hpp"
+#include "core/system.hpp"
+#include "proc/blocks.hpp"
+#include "proc/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wp;
+  using namespace wp::proc;
+
+  const ProgramSpec program = extraction_sort_program(16, 1);
+
+  // --- 1. profile vs measured WP2 gain ---------------------------------
+  const CommunicationProfile profile =
+      profile_communication(make_cpu_system(program, {}), 200000);
+
+  TextTable prof({"consumer input", "excitation rate"});
+  prof.add_section("Communication profile — " + program.name +
+                   " (pipelined CPU)");
+  prof.add_separator();
+  for (const auto& input : profile.inputs)
+    prof.add_row({input.process + "." + input.port,
+                  fmt_fixed(input.excitation_rate(), 3)});
+  prof.print(std::cout);
+
+  // Correlate with single-connection Table-1 measurements: a connection
+  // whose consumer input has a low excitation rate should show a large
+  // measured WP2 improvement.
+  const std::map<std::string, std::string> consumer_of = {
+      {"CU-IC", "CU.instr"},   {"CU-RF", "RF.ctl"},
+      {"CU-AL", "ALU.op"},     {"CU-DC", "DC.ctl"},
+      {"RF-ALU", "ALU.operands"}, {"RF-DC", "DC.store_data"},
+      {"ALU-CU", "CU.flags"},  {"ALU-RF", "RF.wb"},
+      {"ALU-DC", "DC.maddr"},  {"DC-RF", "RF.load"}};
+
+  TextTable corr({"connection", "consumer excitation",
+                  "measured WP2 gain (1 RS)"});
+  corr.add_section("Low excitation predicts high WP2 recovery");
+  corr.add_separator();
+  ExperimentOptions options;
+  options.check_equivalence = false;
+  for (const auto& name : cpu_connections()) {
+    const RsConfig config{"Only " + name, {{name, 1}}};
+    const ExperimentRow row = run_experiment(program, {}, config, options);
+    const auto& endpoint = consumer_of.at(name);
+    const auto dot = endpoint.find('.');
+    const double rate = profile
+                            .at(endpoint.substr(0, dot),
+                                endpoint.substr(dot + 1))
+                            .excitation_rate();
+    corr.add_row({name, fmt_fixed(rate, 3), fmt_percent(row.improvement)});
+  }
+  corr.print(std::cout);
+  std::cout << "\n";
+
+  // --- 2. congestion-noise robustness ----------------------------------
+  TextTable noise_table({"stall probability", "Th WP1", "Th WP2",
+                         "equivalent"});
+  noise_table.add_section(
+      "Random congestion on every channel (StallInjector), config all-0");
+  noise_table.add_separator();
+  SystemSpec spec = make_cpu_system(program, {});
+  GoldenSim golden(spec, true);
+  const std::uint64_t golden_cycles = golden.run_until_halt(200000);
+  for (const double p : {0.0, 1e-9, 0.05, 0.1, 0.25, 0.5}) {
+    double th[2];
+    bool equivalent = true;
+    for (const bool oracle : {false, true}) {
+      ShellOptions shell;
+      shell.use_oracle = oracle;
+      NoiseOptions noise;
+      noise.stall_probability = p;
+      noise.seed = 17;
+      LidSystem lid = build_lid(spec, shell, true, noise);
+      const std::uint64_t cycles = lid.run_until_halt(5000000, 0);
+      th[oracle ? 1 : 0] = static_cast<double>(golden_cycles) /
+                           static_cast<double>(cycles);
+      equivalent =
+          equivalent && check_equivalence(golden.trace(), lid.trace)
+                            .equivalent;
+    }
+    noise_table.add_row({p > 0 && p < 1e-6 ? "0+ (injectors only)"
+                                           : fmt_fixed(p, 2),
+                         fmt_fixed(th[0], 3), fmt_fixed(th[1], 3),
+                         equivalent ? "yes" : "NO"});
+  }
+  noise_table.print(std::cout);
+  std::cout << "The 0+ row isolates the injectors' structural cost (one "
+               "relay-station\nlatency per channel, CU-IC fetch loop "
+               "included); the rows below it add\nactual random stalls. "
+               "Behaviour is preserved at every noise level —\nlatency "
+               "insensitivity, executed.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E10 (extension) — the DSP stream case study: throughput of the AGC
+// feedback loop versus relay-station depth and versus the gain-update
+// period, for WP1 and WP2. Demonstrates the paper's amortization law on a
+// second, non-processor system: Th_WP1 = m/(m+n) always, while
+// Th_WP2 = period/(period+n) — the loop latency is paid only by the
+// firings that actually read the feedback.
+#include <iostream>
+
+#include "core/system.hpp"
+#include "stream/stream.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double run(const wp::SystemSpec& spec, bool oracle,
+           std::uint64_t golden_cycles) {
+  wp::ShellOptions shell;
+  shell.use_oracle = oracle;
+  wp::LidSystem lid = build_lid(spec, shell, false);
+  const std::uint64_t cycles = lid.run_until_halt(3000000, 0);
+  return static_cast<double>(golden_cycles) / static_cast<double>(cycles);
+}
+
+}  // namespace
+
+int main() {
+  using namespace wp;
+
+  TextTable table({"AGC period K", "feedback RS n", "Th WP1", "m/(m+n)",
+                   "Th WP2", "K/(K+n)"});
+  table.add_section(
+      "AGC stream pipeline — feedback loop GAIN->QNT->AGC->GAIN (m = 3)");
+  table.add_separator();
+
+  for (const std::uint64_t period : {4u, 16u, 64u}) {
+    for (const int n : {0, 1, 2, 4, 8}) {
+      stream::StreamConfig config;
+      config.samples = 4000;
+      config.agc_period = period;
+      SystemSpec spec = stream::make_stream_system(config);
+      spec.set_connection_rs("AGC-GAIN", n);
+
+      GoldenSim golden(spec, false);
+      const std::uint64_t golden_cycles = golden.run_until_halt(1000000);
+
+      const double wp1 = run(spec, false, golden_cycles);
+      const double wp2 = run(spec, true, golden_cycles);
+      table.add_row({std::to_string(period), std::to_string(n),
+                     fmt_fixed(wp1, 3), fmt_fixed(3.0 / (3 + n), 3),
+                     fmt_fixed(wp2, 3),
+                     fmt_fixed(static_cast<double>(period) /
+                                   (static_cast<double>(period) + n),
+                               3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "WP1 is pinned at the structural bound m/(m+n) regardless "
+               "of the gain\nupdate rate; WP2 follows K/(K+n): the rarer "
+               "the feedback, the closer to\nfull rate — the paper's "
+               "relaxation of synchronicity quantified on a\nsecond case "
+               "study.\n";
+  return 0;
+}

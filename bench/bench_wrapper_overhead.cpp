@@ -1,0 +1,56 @@
+// E5 — wrapper area overhead (paper §1: "the overhead was always less than
+// 1% with respect to an IP of 100 kgates", 130 nm synthesis). Sweeps the
+// wrapper geometry and reports NAND2-equivalent gates and the overhead
+// ratio for WP1 and WP2 wrappers, plus relay-station cost per width.
+#include <iostream>
+
+#include "core/area.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wp;
+
+  TextTable table({"in x out", "width", "depth", "WP1 gates", "WP2 gates",
+                   "WP2 oracle share", "overhead vs 100 kgate IP"});
+  table.add_section("Wrapper gate-count model (NAND2 equivalents)");
+  table.add_separator();
+
+  for (const std::size_t channels : {2u, 3u, 4u}) {
+    for (const std::size_t width : {16u, 32u, 64u}) {
+      for (const std::size_t depth : {2u, 4u}) {
+        WrapperGeometry g;
+        g.num_inputs = channels;
+        g.num_outputs = channels;
+        g.data_width = width;
+        g.fifo_depth = depth;
+        g.counter_bits = 4;
+        const double wp1 = estimate_wrapper_area(g).total();
+        g.oracle = true;
+        const WrapperArea wp2 = estimate_wrapper_area(g);
+        table.add_row({std::to_string(channels) + "x" +
+                           std::to_string(channels),
+                       std::to_string(width), std::to_string(depth),
+                       fmt_fixed(wp1, 0), fmt_fixed(wp2.total(), 0),
+                       fmt_percent(wp2.oracle_logic / wp2.total(), 1),
+                       fmt_percent(wp2.total() / 100000.0, 2)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Paper claim: < 1% of a 100-kgate IP; our conservative "
+               "estimate lands\nat 0.5-3% across the sweep (same order; "
+               "lean interfaces < 1%), and the\nWP2 oracle adds only a few "
+               "percent of the wrapper (\"the effort was minimal\").\n\n";
+
+  TextTable rs({"payload width", "relay station gates",
+                "overhead vs 100 kgate IP"});
+  rs.add_section("Relay station cost");
+  rs.add_separator();
+  for (const std::size_t width : {8u, 16u, 32u, 64u}) {
+    const double gates = estimate_relay_station_area(width);
+    rs.add_row({std::to_string(width), fmt_fixed(gates, 0),
+                fmt_percent(gates / 100000.0, 2)});
+  }
+  rs.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Stream AGC: the second case study as a walkthrough. Builds the DSP
+// pipeline, profiles its communication, pipelines the feedback wire, and
+// shows the amortization law Th_WP2 = K/(K+n) against Th_WP1 = m/(m+n).
+#include <iostream>
+
+#include "core/profile.hpp"
+#include "core/system.hpp"
+#include "stream/stream.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wp;
+
+  stream::StreamConfig config;
+  config.samples = 4000;
+  config.agc_period = 16;
+
+  // 1. Profile the golden system: which inputs does each stage read?
+  const SystemSpec spec_for_profile = stream::make_stream_system(config);
+  const CommunicationProfile profile =
+      profile_communication(spec_for_profile, 100000);
+  std::cout << "Communication profile (AGC updates every "
+            << config.agc_period << " samples):\n";
+  for (const auto& input : profile.inputs)
+    std::cout << "  " << input.process << "." << input.port
+              << "  excitation " << fmt_fixed(input.excitation_rate(), 3)
+            << "\n";
+
+  // 2. The feedback wire is long and needs 2 relay stations.
+  SystemSpec spec = stream::make_stream_system(config);
+  spec.set_connection_rs("AGC-GAIN", 2);
+
+  GoldenSim golden(spec, false);
+  const std::uint64_t golden_cycles = golden.run_until_halt(1000000);
+  const auto& golden_sink =
+      dynamic_cast<const stream::StreamSink&>(golden.process("SNK"));
+  std::cout << "\ngolden: " << golden_cycles << " cycles for "
+            << golden_sink.samples().size() << " samples\n";
+
+  // 3. Wire-pipelined runs.
+  for (const bool oracle : {false, true}) {
+    ShellOptions shell;
+    shell.use_oracle = oracle;
+    LidSystem lid = build_lid(spec, shell, false);
+    const std::uint64_t cycles = lid.run_until_halt(3000000);
+    const auto& sink = dynamic_cast<const stream::StreamSink&>(
+        lid.shells.at("SNK")->process());
+    bool same = sink.samples().size() >= golden_sink.samples().size();
+    for (std::size_t i = 0; same && i < golden_sink.samples().size(); ++i)
+      same = sink.samples()[i] == golden_sink.samples()[i];
+    std::cout << (oracle ? "WP2" : "WP1") << ":    " << cycles
+              << " cycles, throughput "
+              << fmt_fixed(static_cast<double>(golden_cycles) /
+                               static_cast<double>(cycles),
+                           3)
+              << ", output stream identical: " << (same ? "yes" : "NO")
+              << "\n";
+  }
+  std::cout << "\nWP1 is bound by the feedback loop (m/(m+n) = 3/5 = 0.6); "
+               "WP2 pays the\nrelay-station latency only on the 1-in-16 "
+               "firings that read the gain\n(K/(K+n) = 16/18 = 0.889).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "core/area.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wp {
+
+namespace {
+// NAND2-equivalent weights (typical standard-cell figures).
+constexpr double kGatesPerFlop = 6.0;
+constexpr double kGatesPerMux2 = 3.0;
+constexpr double kGatesPerXor = 2.5;
+constexpr double kGatesPerAnd = 1.0;
+constexpr double kGatesPerCounterBit = 8.0;  // flop + increment logic
+}  // namespace
+
+WrapperArea estimate_wrapper_area(const WrapperGeometry& g) {
+  WP_REQUIRE(g.num_inputs >= 1 && g.num_outputs >= 1,
+             "wrapper needs at least one input and one output");
+  WP_REQUIRE(g.fifo_depth >= 1, "FIFO depth must be >= 1");
+  WrapperArea a;
+
+  // Token buffers: depth × (payload + valid) flops per input channel.
+  const double bits_per_entry = static_cast<double>(g.data_width + 1);
+  a.fifo_storage = static_cast<double>(g.num_inputs) *
+                   static_cast<double>(g.fifo_depth) * bits_per_entry *
+                   kGatesPerFlop;
+
+  // Read/write pointers (log2 depth bits each) + full/empty comparators.
+  const double ptr_bits =
+      std::max(1.0, std::ceil(std::log2(static_cast<double>(g.fifo_depth))));
+  a.fifo_control = static_cast<double>(g.num_inputs) *
+                   (2.0 * ptr_bits * kGatesPerCounterBit +
+                    2.0 * ptr_bits * kGatesPerXor + 4.0 * kGatesPerAnd);
+
+  // One lag counter per input channel plus the firing counter.
+  a.counters = static_cast<double>(g.num_inputs + 1) *
+               static_cast<double>(g.counter_bits) * kGatesPerCounterBit;
+
+  // Availability comparator per input (counter equality) + fire AND tree.
+  a.synchronizer = static_cast<double>(g.num_inputs) *
+                       (static_cast<double>(g.counter_bits) * kGatesPerXor +
+                        2.0 * kGatesPerAnd) +
+                   static_cast<double>(g.num_inputs + g.num_outputs) *
+                       kGatesPerAnd;
+
+  // Pending-output register + valid flop + τ mux per output channel.
+  a.output_stage = static_cast<double>(g.num_outputs) *
+                   (bits_per_entry * kGatesPerFlop +
+                    static_cast<double>(g.data_width) * kGatesPerMux2);
+
+  if (g.oracle) {
+    // A small PLA over the state register and peeked control bits:
+    // `oracle_terms` product terms of ~4 literals feeding one mask bit per
+    // input channel. Matches the paper's "the effort was minimal".
+    a.oracle_logic = static_cast<double>(g.oracle_terms) *
+                         (4.0 * kGatesPerAnd + kGatesPerAnd) +
+                     static_cast<double>(g.num_inputs) * kGatesPerAnd;
+  }
+  return a;
+}
+
+double estimate_relay_station_area(std::size_t data_width) {
+  // Main + aux registers (payload + valid each) plus a 2-state FSM and the
+  // stop/mux logic.
+  const double bits_per_entry = static_cast<double>(data_width + 1);
+  return 2.0 * bits_per_entry * kGatesPerFlop +
+         static_cast<double>(data_width) * kGatesPerMux2 + 10.0;
+}
+
+double wrapper_overhead_ratio(const WrapperGeometry& geometry,
+                              double ip_gates) {
+  WP_REQUIRE(ip_gates > 0, "IP gate count must be positive");
+  return estimate_wrapper_area(geometry).total() / ip_gates;
+}
+
+}  // namespace wp

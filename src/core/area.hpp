@@ -1,0 +1,53 @@
+// Analytical gate-count model of the wrapper and relay-station hardware,
+// standing in for the paper's 130 nm synthesis runs (§1: "the overhead was
+// always less than 1% with respect to an IP of 100 kgates").
+//
+// Costs are expressed in NAND2-equivalent gates with the usual textbook
+// weights (DFF ≈ 6, 2:1 mux ≈ 3 per bit, etc.). The absolute numbers are
+// technology-independent estimates; the bench compares the *ratio* to the
+// IP size, which is what the paper reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wp {
+
+/// Geometry of one wrapped IP block's communication interface.
+struct WrapperGeometry {
+  std::size_t num_inputs = 2;       ///< input channels
+  std::size_t num_outputs = 2;      ///< output channels
+  std::size_t data_width = 32;      ///< payload bits per channel
+  std::size_t fifo_depth = 2;       ///< tokens buffered per input channel
+  std::size_t counter_bits = 8;     ///< lag counters (paper §1)
+  bool oracle = false;              ///< WP2: add the oracle decision logic
+  std::size_t oracle_terms = 8;     ///< product terms in the oracle PLA
+};
+
+/// NAND2-equivalent gate counts, broken down by function.
+struct WrapperArea {
+  double fifo_storage = 0;   ///< token buffers (payload + valid bits)
+  double fifo_control = 0;   ///< pointers, full/empty logic
+  double counters = 0;       ///< per-channel lag counters + firing counter
+  double synchronizer = 0;   ///< availability comparators and fire AND-tree
+  double output_stage = 0;   ///< pending-output registers + τ muxing
+  double oracle_logic = 0;   ///< WP2 only
+  double total() const {
+    return fifo_storage + fifo_control + counters + synchronizer +
+           output_stage + oracle_logic;
+  }
+};
+
+/// Gate-count estimate for a wrapper with the given geometry.
+WrapperArea estimate_wrapper_area(const WrapperGeometry& geometry);
+
+/// Gate-count estimate for one relay station (2 registers + FSM) of the
+/// given payload width.
+double estimate_relay_station_area(std::size_t data_width);
+
+/// Overhead ratio of a wrapper against an IP of `ip_gates` NAND2-equivalent
+/// gates (the paper uses 100 kgates).
+double wrapper_overhead_ratio(const WrapperGeometry& geometry,
+                              double ip_gates);
+
+}  // namespace wp

@@ -1,0 +1,63 @@
+#include "core/network.hpp"
+
+#include "util/assert.hpp"
+
+namespace wp {
+
+Wire* Network::make_wire(std::string name) {
+  wires_.emplace_back(std::move(name));
+  return &wires_.back();
+}
+
+void Network::step() {
+  for (auto& node : nodes_) node->eval(cycle_);
+  for (auto& node : nodes_) node->commit(cycle_);
+  ++cycle_;
+}
+
+std::uint64_t Network::run(std::uint64_t max_cycles,
+                           const std::function<bool()>& stop) {
+  std::uint64_t executed = 0;
+  std::uint64_t idle = 0;
+  while (executed < max_cycles) {
+    if (stop && stop()) break;
+    step();
+    ++executed;
+    if (watchdog_) {
+      if (watchdog_()) {
+        idle = 0;
+      } else if (++idle >= watchdog_window_) {
+        WP_CHECK(false, "deadlock watchdog: no progress for " +
+                            std::to_string(idle) + " cycles at cycle " +
+                            std::to_string(cycle_));
+      }
+    }
+  }
+  return executed;
+}
+
+void Network::arm_watchdog(std::function<bool()> progress,
+                           std::uint64_t window) {
+  WP_REQUIRE(window > 0, "watchdog window must be positive");
+  watchdog_ = std::move(progress);
+  watchdog_window_ = window;
+}
+
+void Network::reset() {
+  for (auto& wire : wires_) wire.reset();
+  for (auto& node : nodes_) node->reset();
+  cycle_ = 0;
+}
+
+Wire* Network::wire_at(std::size_t index) {
+  WP_REQUIRE(index < wires_.size(), "wire index out of range");
+  return &wires_[index];
+}
+
+Node* Network::find(const std::string& name) const {
+  for (const auto& node : nodes_)
+    if (node->name() == name) return node.get();
+  return nullptr;
+}
+
+}  // namespace wp

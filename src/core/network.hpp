@@ -1,0 +1,68 @@
+// The clocked simulation kernel: owns nodes and wires and advances them with
+// the two-phase (eval/commit) clock. Because every node is a Moore machine,
+// phase-internal ordering is irrelevant and the kernel is trivially
+// deterministic.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "core/wire.hpp"
+
+namespace wp {
+
+class Network {
+ public:
+  Network() = default;
+
+  /// Creates a wire owned by the network (stable address).
+  Wire* make_wire(std::string name = {});
+
+  /// Adds a node; returns a borrowed pointer of the concrete type.
+  template <typename T>
+  T* add_node(std::unique_ptr<T> node) {
+    T* raw = node.get();
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
+
+  /// Advances one clock cycle (eval all, then commit all).
+  void step();
+
+  /// Runs until `stop()` returns true or `max_cycles` elapse. Returns the
+  /// number of cycles executed. Throws if the deadlock watchdog trips (no
+  /// progress callback signal for `deadlock_window` cycles, if armed).
+  std::uint64_t run(std::uint64_t max_cycles,
+                    const std::function<bool()>& stop);
+
+  /// Arms a watchdog: `progress()` is polled each cycle; if it returns false
+  /// for `window` consecutive cycles, run() throws. Used by tests to turn
+  /// protocol deadlocks into failures instead of timeouts.
+  void arm_watchdog(std::function<bool()> progress, std::uint64_t window);
+
+  /// Resets every node, every wire and the cycle counter.
+  void reset();
+
+  Cycle cycle() const { return cycle_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t wire_count() const { return wires_.size(); }
+
+  /// Access to owned wires for instrumentation (e.g. VCD sampling).
+  Wire* wire_at(std::size_t index);
+
+  /// Finds a node by name; nullptr if absent.
+  Node* find(const std::string& name) const;
+
+ private:
+  std::deque<Wire> wires_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Cycle cycle_ = 0;
+  std::function<bool()> watchdog_;
+  std::uint64_t watchdog_window_ = 0;
+};
+
+}  // namespace wp

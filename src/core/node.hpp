@@ -1,0 +1,41 @@
+// Base class for every clocked element of a latency-insensitive network:
+// relay stations, shells, sources and sinks.
+//
+// The kernel advances the system with a two-phase clock:
+//   eval(c)   — drive all output wires (token and stop lines) as pure
+//               functions of registered state; must not read wires;
+//   commit(c) — sample input wires and update registered state.
+// Keeping every node Moore-style makes the network's behaviour independent
+// of node ordering and mirrors the fully synchronous RTL of the paper.
+#pragma once
+
+#include <string>
+
+#include "core/token.hpp"
+
+namespace wp {
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Phase 1: drive output wires from registered state only.
+  virtual void eval(Cycle cycle) = 0;
+
+  /// Phase 2: sample input wires, update registered state.
+  virtual void commit(Cycle cycle) = 0;
+
+  /// Returns the node to its power-on state.
+  virtual void reset() = 0;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace wp

@@ -1,0 +1,38 @@
+#include "core/process.hpp"
+
+#include "util/assert.hpp"
+
+namespace wp {
+
+std::size_t Process::input_index(std::string_view port) const {
+  for (std::size_t i = 0; i < inputs_.size(); ++i)
+    if (inputs_[i].name == port) return i;
+  WP_REQUIRE(false, "no such input port: " + std::string(port) + " on " +
+                        name_);
+  return 0;  // unreachable
+}
+
+std::size_t Process::output_index(std::string_view port) const {
+  for (std::size_t i = 0; i < outputs_.size(); ++i)
+    if (outputs_[i].name == port) return i;
+  WP_REQUIRE(false, "no such output port: " + std::string(port) + " on " +
+                        name_);
+  return 0;  // unreachable
+}
+
+std::size_t Process::add_input(std::string port_name, Word reset_value) {
+  WP_REQUIRE(inputs_.size() < 32, "at most 32 input ports per process");
+  for (const auto& p : inputs_)
+    WP_REQUIRE(p.name != port_name, "duplicate input port " + port_name);
+  inputs_.push_back({std::move(port_name), reset_value});
+  return inputs_.size() - 1;
+}
+
+std::size_t Process::add_output(std::string port_name, Word reset_value) {
+  for (const auto& p : outputs_)
+    WP_REQUIRE(p.name != port_name, "duplicate output port " + port_name);
+  outputs_.push_back({std::move(port_name), reset_value});
+  return outputs_.size() - 1;
+}
+
+}  // namespace wp

@@ -1,0 +1,61 @@
+#include "core/relay_station.hpp"
+
+#include "util/assert.hpp"
+
+namespace wp {
+
+RelayStation::RelayStation(std::string name, Wire* in, Wire* out)
+    : Node(std::move(name)), in_(in), out_(out) {
+  WP_REQUIRE(in_ != nullptr && out_ != nullptr,
+             "relay station requires both wires");
+  WP_REQUIRE(in_ != out_, "relay station input and output must differ");
+}
+
+void RelayStation::eval(Cycle /*cycle*/) {
+  out_->drive(main_);
+  // Back-pressure: only when the auxiliary register is also full is the stop
+  // propagated to the previous stage (paper §1).
+  in_->drive_stop(aux_.valid);
+}
+
+void RelayStation::commit(Cycle /*cycle*/) {
+  const bool stopped_down = out_->stop();
+  // Incoming token is transferred to us iff we did not drive stop this cycle
+  // (the line we drove equals aux_.valid, which is still our current state).
+  const Token incoming =
+      (in_->token().valid && !aux_.valid) ? in_->token() : Token::tau();
+
+  if (main_.valid && stopped_down) {
+    // Downstream held us: keep main, absorb any in-flight token into aux.
+    ++stall_cycles_;
+    if (incoming.valid) {
+      WP_CHECK(!aux_.valid, "relay station auxiliary register overflow");
+      aux_ = incoming;
+    }
+  } else {
+    // Either main was empty or it has been consumed downstream this cycle.
+    if (main_.valid) ++tokens_forwarded_;
+    if (aux_.valid) {
+      // Drain the skid buffer first; our stop was high so nothing arrives.
+      WP_CHECK(!incoming.valid,
+               "token arrived while stop was asserted (protocol violation)");
+      main_ = aux_;
+      aux_ = Token::tau();
+    } else {
+      main_ = incoming;
+    }
+  }
+}
+
+void RelayStation::reset() {
+  main_ = Token::tau();
+  aux_ = Token::tau();
+  tokens_forwarded_ = 0;
+  stall_cycles_ = 0;
+}
+
+int RelayStation::occupancy() const {
+  return (main_.valid ? 1 : 0) + (aux_.valid ? 1 : 0);
+}
+
+}  // namespace wp

@@ -1,0 +1,48 @@
+// Relay station (RS): the wire-pipelining element of Carloni's
+// latency-insensitive protocol, as used by the paper (§1): a pipeline
+// register plus one auxiliary register so that a valid datum in flight when
+// a stop arrives is not lost; when the auxiliary register is also full the
+// stop is propagated to the previous relay station, up to the source.
+//
+// The FSM has three occupancies:
+//   EMPTY (0 items)  — drives τ forward, stop low backward;
+//   HALF  (1 item)   — drives the main register forward, stop low;
+//   FULL  (2 items)  — drives main forward, asserts stop backward.
+// A forward token is accepted in a cycle iff our stop line was low in that
+// cycle; our own forward token is transferred iff the downstream stop line
+// is low. Both rules use lines driven from registered state, so the stop
+// chain is itself pipelined hop by hop — exactly the paper's behaviour.
+#pragma once
+
+#include "core/node.hpp"
+#include "core/wire.hpp"
+
+namespace wp {
+
+class RelayStation final : public Node {
+ public:
+  /// in: wire from the upstream element; out: wire to the downstream one.
+  RelayStation(std::string name, Wire* in, Wire* out);
+
+  void eval(Cycle cycle) override;
+  void commit(Cycle cycle) override;
+  void reset() override;
+
+  /// Number of buffered valid items (0, 1 or 2). Exposed for tests.
+  int occupancy() const;
+
+  /// Lifetime statistics, for the benches.
+  std::uint64_t tokens_forwarded() const { return tokens_forwarded_; }
+  std::uint64_t stall_cycles() const { return stall_cycles_; }
+
+ private:
+  Wire* in_;
+  Wire* out_;
+
+  Token main_ = Token::tau();  // drives the output
+  Token aux_ = Token::tau();   // skid buffer used while stopped
+  std::uint64_t tokens_forwarded_ = 0;
+  std::uint64_t stall_cycles_ = 0;
+};
+
+}  // namespace wp

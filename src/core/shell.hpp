@@ -1,0 +1,120 @@
+// The wrapper ("shell") that encloses an unmodified IP block — the paper's
+// central object, in both variants:
+//
+//   WP1 (strict, Carloni-style): τ-filtered inputs are buffered in tagged
+//   FIFOs; the process fires only when *all* inputs carrying the current tag
+//   are present; on a stall, τ is emitted on every output.
+//
+//   WP2 (this paper): an oracle — Process::required(), possibly peeking at
+//   already-arrived current-tag tokens ("processing signals") — names the
+//   inputs the next transition actually reads. The shell fires as soon as
+//   those are present; tokens whose tag is older than the firing counter are
+//   discarded, which is safe because the process was blind to them.
+//
+// Tags never travel on wires: each input keeps a received counter (the k-th
+// valid token on a channel has tag k) and the shell keeps a firing counter,
+// per the paper's "initialized counter that records the lag".
+//
+// Finite FIFOs create back-pressure: the shell asserts stop on an input when
+// its FIFO is full; relay stations propagate the stop toward the source.
+// Each channel carries exactly one initial token (the reset value of the
+// producer's golden output register), which gives the marked-graph semantics
+// behind the paper's Th = m/(m+n) loop formula.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/node.hpp"
+#include "core/process.hpp"
+#include "core/wire.hpp"
+
+namespace wp {
+
+struct ShellOptions {
+  /// false → WP1 strict wrapper; true → WP2 wrapper with oracle.
+  bool use_oracle = false;
+  /// Input FIFO capacity in tokens (≥ 1). Back-pressure point.
+  std::size_t fifo_capacity = 16;
+  /// When using the oracle, pass poison instead of the real value for
+  /// available-but-not-required inputs, so an unsound oracle (a transition
+  /// that reads an input it did not request) diverges loudly in equivalence
+  /// tests instead of silently working.
+  bool poison_unrequired = true;
+};
+
+/// Per-shell statistics, reported by the benches.
+struct ShellStats {
+  std::uint64_t firings = 0;           ///< completed transitions
+  std::uint64_t stalls_input = 0;      ///< cycles stalled waiting for tokens
+  std::uint64_t stalls_output = 0;     ///< cycles stalled by back-pressure
+  std::uint64_t discarded_tokens = 0;  ///< stale tokens dropped (WP2 only)
+};
+
+class Shell final : public Node {
+ public:
+  Shell(std::string name, std::unique_ptr<Process> process,
+        ShellOptions options);
+
+  /// Connects input port `port` to `wire`. `initial_value` is the reset
+  /// value of the producing golden register; it seeds the channel's single
+  /// initial token (tag 0). Every input must be connected exactly once.
+  void connect_input(std::size_t port, Wire* wire, Word initial_value);
+
+  /// Adds a fan-out branch of output port `port`. A fired token counts as
+  /// delivered only once every branch has accepted it. Ports with no branch
+  /// are silently dropped.
+  void add_output_wire(std::size_t port, Wire* wire);
+
+  /// Called after every firing with (cycle, tag, output words).
+  using FireObserver =
+      std::function<void(Cycle cycle, Tag tag, const Word* outs)>;
+  void set_fire_observer(FireObserver observer);
+
+  void eval(Cycle cycle) override;
+  void commit(Cycle cycle) override;
+  void reset() override;
+
+  const Process& process() const { return *process_; }
+  Process& process() { return *process_; }
+  const ShellStats& stats() const { return stats_; }
+  Tag firing_counter() const { return firing_counter_; }
+  bool halted() const { return process_->halted(); }
+
+  /// Current occupancy of one input FIFO (tests / ablation).
+  std::size_t fifo_size(std::size_t port) const;
+
+ private:
+  struct InputState {
+    Wire* wire = nullptr;
+    std::vector<TaggedToken> fifo;  // FIFO, front at index 0 (small depths)
+    Tag received = 0;               // tags handed out so far on this channel
+    bool stop_driven = false;       // what we drove on the stop line
+  };
+  struct OutputState {
+    std::vector<Wire*> wires;
+    std::vector<bool> delivered;  // per fan-out branch
+    Token pending = Token::tau(); // valid until all branches delivered
+  };
+
+  bool all_outputs_delivered() const;
+  void try_fire(Cycle cycle);
+
+  std::unique_ptr<Process> process_;
+  ShellOptions options_;
+  std::vector<InputState> in_;
+  std::vector<Word> initial_seed_;  // per input: the channel's initial token
+  std::vector<OutputState> out_;
+  Tag firing_counter_ = 0;
+  ShellStats stats_;
+  FireObserver observer_;
+
+  // scratch buffers reused across firings
+  std::vector<std::uint8_t> avail_;
+  std::vector<Word> peek_values_;
+  std::vector<Word> fire_in_;
+  std::vector<Word> fire_out_;
+};
+
+}  // namespace wp

@@ -1,0 +1,64 @@
+#include "core/stall_injector.hpp"
+
+#include "util/assert.hpp"
+
+namespace wp {
+
+StallInjector::StallInjector(std::string name, Wire* in, Wire* out,
+                             double stall_probability, std::uint64_t seed)
+    : Node(std::move(name)),
+      in_(in),
+      out_(out),
+      stall_probability_(stall_probability),
+      seed_(seed),
+      rng_(seed) {
+  WP_REQUIRE(in_ != nullptr && out_ != nullptr, "injector requires wires");
+  WP_REQUIRE(in_ != out_, "injector input and output must differ");
+  WP_REQUIRE(stall_probability >= 0.0 && stall_probability <= 1.0,
+             "stall probability must be in [0, 1]");
+}
+
+void StallInjector::eval(Cycle /*cycle*/) {
+  // A relay station that sometimes pretends its consumer stopped: while
+  // "moody" it withholds the main register and lets the auxiliary one
+  // absorb the in-flight token, so no token is ever lost. At probability 0
+  // it behaves as exactly one extra relay station.
+  stalling_ = rng_.chance(stall_probability_);
+  if (stalling_) ++injected_stalls_;
+  out_->drive(stalling_ ? Token::tau() : main_);
+  in_->drive_stop(aux_.valid);
+}
+
+void StallInjector::commit(Cycle /*cycle*/) {
+  const bool stopped_down = out_->stop() || stalling_;
+  const Token incoming =
+      (in_->token().valid && !aux_.valid) ? in_->token() : Token::tau();
+
+  if (main_.valid && stopped_down) {
+    if (incoming.valid) {
+      WP_CHECK(!aux_.valid, "stall injector auxiliary register overflow");
+      aux_ = incoming;
+    }
+  } else {
+    if (main_.valid) ++tokens_forwarded_;
+    if (aux_.valid) {
+      WP_CHECK(!incoming.valid,
+               "token arrived while stop was asserted (protocol violation)");
+      main_ = aux_;
+      aux_ = Token::tau();
+    } else {
+      main_ = incoming;
+    }
+  }
+}
+
+void StallInjector::reset() {
+  main_ = Token::tau();
+  aux_ = Token::tau();
+  stalling_ = false;
+  injected_stalls_ = 0;
+  tokens_forwarded_ = 0;
+  rng_ = Rng(seed_);
+}
+
+}  // namespace wp

@@ -1,0 +1,47 @@
+// Congestion / latency-noise injection: a pass-through node that randomly
+// asserts stop toward its producer and withholds its token, emulating
+// crossbar congestion, voltage-droop throttling or any other source of
+// latency variation.
+//
+// Latency-insensitive theory promises functional correctness under *any*
+// latency variation; splicing injectors into channels and re-checking
+// τ-filtered equivalence turns that promise into an executable property.
+#pragma once
+
+#include "core/node.hpp"
+#include "core/wire.hpp"
+#include "util/rng.hpp"
+
+namespace wp {
+
+class StallInjector final : public Node {
+ public:
+  /// Forwards in → out like a relay station (one cycle of latency, two
+  /// registers, lossless), but in any cycle additionally pretends its
+  /// consumer stopped with probability `stall_probability`. At probability
+  /// zero it is exactly one extra relay station.
+  StallInjector(std::string name, Wire* in, Wire* out,
+                double stall_probability, std::uint64_t seed);
+
+  void eval(Cycle cycle) override;
+  void commit(Cycle cycle) override;
+  void reset() override;
+
+  std::uint64_t injected_stalls() const { return injected_stalls_; }
+  std::uint64_t tokens_forwarded() const { return tokens_forwarded_; }
+
+ private:
+  Wire* in_;
+  Wire* out_;
+  double stall_probability_;
+  std::uint64_t seed_;
+  Rng rng_;
+
+  Token main_ = Token::tau();  // forwarding register (as in a relay station)
+  Token aux_ = Token::tau();   // skid buffer protecting in-flight tokens
+  bool stalling_ = false;      // this cycle's injected virtual stop
+  std::uint64_t injected_stalls_ = 0;
+  std::uint64_t tokens_forwarded_ = 0;
+};
+
+}  // namespace wp

@@ -1,0 +1,10 @@
+#include "core/token.hpp"
+
+namespace wp {
+
+std::ostream& operator<<(std::ostream& os, const Token& t) {
+  if (!t.valid) return os << "τ";
+  return os << t.value;
+}
+
+}  // namespace wp

@@ -1,0 +1,72 @@
+#include "floorplan/annealer.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wp::fplan {
+
+double placement_cost(const Instance& inst, const Placement& placement,
+                      const AnnealOptions& options, double* area_out,
+                      double* wl_out, double* th_out) {
+  const double area = placement.area();
+  const double wl = total_wirelength(inst, placement);
+  double th = 1.0;
+  if (options.weight_throughput > 0.0) {
+    WP_REQUIRE(static_cast<bool>(options.throughput_fn),
+               "throughput weight set but no throughput_fn provided");
+    th = options.throughput_fn(
+        rs_demand(inst, placement, options.delay_model));
+  }
+  if (area_out) *area_out = area;
+  if (wl_out) *wl_out = wl;
+  if (th_out) *th_out = th;
+  return options.weight_area * area + options.weight_wirelength * wl +
+         options.weight_throughput * (1.0 - th);
+}
+
+AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
+  WP_REQUIRE(inst.blocks.size() >= 2, "need at least two blocks");
+  WP_REQUIRE(options.iterations > 0, "need at least one iteration");
+  wp::Rng rng(options.seed);
+
+  AnnealResult best;
+  SequencePair current = SequencePair::random(inst.blocks.size(), rng);
+  Placement placement = pack(inst, current);
+  double current_cost =
+      placement_cost(inst, placement, options, nullptr, nullptr, nullptr);
+
+  best.sequence_pair = current;
+  best.placement = placement;
+  best.cost = current_cost;
+
+  double temperature = options.initial_temperature *
+                       std::max(current_cost, 1e-9);
+  for (int it = 0; it < options.iterations; ++it) {
+    const AppliedMove move = random_move(current, rng);
+    const Placement candidate = pack(inst, current);
+    const double cost = placement_cost(inst, candidate, options, nullptr,
+                                       nullptr, nullptr);
+    ++best.evaluations;
+    const double delta = cost - current_cost;
+    if (delta <= 0 ||
+        rng.uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
+      current_cost = cost;
+      ++best.accepted_moves;
+      if (cost < best.cost) {
+        best.cost = cost;
+        best.sequence_pair = current;
+        best.placement = candidate;
+      }
+    } else {
+      undo_move(current, move);
+    }
+    temperature *= options.cooling;
+  }
+
+  placement_cost(inst, best.placement, options, &best.area,
+                 &best.wirelength, &best.throughput);
+  return best;
+}
+
+}  // namespace wp::fplan

@@ -1,0 +1,54 @@
+// Simulated-annealing floorplanner over sequence pairs, with a cost that
+// can mix area, wirelength and — the wire-pipelining twist — the system
+// throughput computed from the relay stations each placement implies.
+// An area-driven run and a throughput-driven run of the same instance give
+// the ablation of the paper's methodology (bench_floorplan_flow).
+#pragma once
+
+#include <functional>
+
+#include "floorplan/model.hpp"
+#include "floorplan/sequence_pair.hpp"
+#include "util/rng.hpp"
+
+namespace wp::fplan {
+
+struct AnnealOptions {
+  double weight_area = 1.0;
+  double weight_wirelength = 0.1;
+  /// Weight on (1 - system throughput); 0 = classic area/WL floorplanning.
+  double weight_throughput = 0.0;
+  /// Computes the system throughput from per-connection RS demand; required
+  /// when weight_throughput > 0 (typically graph min-cycle-ratio).
+  std::function<double(
+      const std::vector<std::pair<std::string, int>>& demand)>
+      throughput_fn;
+  WireDelayModel delay_model;
+
+  int iterations = 20000;
+  double initial_temperature = 1.0;
+  double cooling = 0.9995;       ///< geometric cooling per iteration
+  std::uint64_t seed = 42;
+};
+
+struct AnnealResult {
+  SequencePair sequence_pair;
+  Placement placement;
+  double cost = 0;
+  double area = 0;
+  double wirelength = 0;
+  double throughput = 1.0;  ///< only meaningful when throughput_fn is set
+  int accepted_moves = 0;
+  int evaluations = 0;
+};
+
+/// Runs the annealer from a random start.
+AnnealResult anneal(const Instance& inst, const AnnealOptions& options);
+
+/// Evaluates the cost terms of one placement under the options (exposed for
+/// tests and reporting).
+double placement_cost(const Instance& inst, const Placement& placement,
+                      const AnnealOptions& options, double* area_out,
+                      double* wl_out, double* th_out);
+
+}  // namespace wp::fplan

@@ -1,0 +1,62 @@
+#include "floorplan/model.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace wp::fplan {
+
+int Instance::block_index(const std::string& block_name) const {
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    if (blocks[i].name == block_name) return static_cast<int>(i);
+  return -1;
+}
+
+double net_length(const Instance& inst, const Placement& placement,
+                  const Net& net) {
+  WP_REQUIRE(net.src_block >= 0 &&
+                 net.src_block < static_cast<int>(inst.blocks.size()),
+             "net source block out of range");
+  WP_REQUIRE(net.dst_block >= 0 &&
+                 net.dst_block < static_cast<int>(inst.blocks.size()),
+             "net destination block out of range");
+  const auto s = static_cast<std::size_t>(net.src_block);
+  const auto d = static_cast<std::size_t>(net.dst_block);
+  const double sx = placement.x[s] + inst.blocks[s].width / 2;
+  const double sy = placement.y[s] + inst.blocks[s].height / 2;
+  const double dx = placement.x[d] + inst.blocks[d].width / 2;
+  const double dy = placement.y[d] + inst.blocks[d].height / 2;
+  return std::abs(sx - dx) + std::abs(sy - dy);
+}
+
+double total_wirelength(const Instance& inst, const Placement& placement) {
+  double total = 0;
+  for (const auto& net : inst.nets) total += net_length(inst, placement, net);
+  return total;
+}
+
+int relay_stations_for_length(double mm, const WireDelayModel& model) {
+  WP_REQUIRE(mm >= 0, "negative wire length");
+  WP_REQUIRE(model.ps_per_mm > 0 && model.clock_ps > 0,
+             "delay model parameters must be positive");
+  const double delay = mm * model.ps_per_mm;
+  const int stages = std::max(1, static_cast<int>(std::ceil(
+                                     delay / model.clock_ps - 1e-9)));
+  return stages - 1;
+}
+
+std::vector<std::pair<std::string, int>> rs_demand(
+    const Instance& inst, const Placement& placement,
+    const WireDelayModel& model) {
+  std::map<std::string, int> demand;
+  for (const auto& net : inst.nets) {
+    const int rs =
+        relay_stations_for_length(net_length(inst, placement, net), model);
+    auto [it, inserted] = demand.emplace(net.connection, rs);
+    if (!inserted) it->second = std::max(it->second, rs);
+  }
+  return {demand.begin(), demand.end()};
+}
+
+}  // namespace wp::fplan

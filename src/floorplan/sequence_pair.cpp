@@ -1,0 +1,133 @@
+#include "floorplan/sequence_pair.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace wp::fplan {
+
+SequencePair SequencePair::identity(std::size_t num_blocks) {
+  SequencePair sp;
+  sp.positive.resize(num_blocks);
+  std::iota(sp.positive.begin(), sp.positive.end(), 0);
+  sp.negative = sp.positive;
+  return sp;
+}
+
+SequencePair SequencePair::random(std::size_t num_blocks, wp::Rng& rng) {
+  SequencePair sp = identity(num_blocks);
+  rng.shuffle(sp.positive);
+  rng.shuffle(sp.negative);
+  return sp;
+}
+
+bool SequencePair::valid(std::size_t num_blocks) const {
+  auto is_perm = [num_blocks](const std::vector<int>& seq) {
+    if (seq.size() != num_blocks) return false;
+    std::vector<bool> seen(num_blocks, false);
+    for (int v : seq) {
+      if (v < 0 || static_cast<std::size_t>(v) >= num_blocks ||
+          seen[static_cast<std::size_t>(v)])
+        return false;
+      seen[static_cast<std::size_t>(v)] = true;
+    }
+    return true;
+  };
+  return is_perm(positive) && is_perm(negative);
+}
+
+Placement pack(const Instance& inst, const SequencePair& sp) {
+  const std::size_t n = inst.blocks.size();
+  WP_REQUIRE(sp.valid(n), "invalid sequence pair for this instance");
+
+  // Position of each block in each sequence.
+  std::vector<std::size_t> pos_p(n), pos_n(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    pos_p[static_cast<std::size_t>(sp.positive[k])] = k;
+    pos_n[static_cast<std::size_t>(sp.negative[k])] = k;
+  }
+
+  Placement placement;
+  placement.x.assign(n, 0.0);
+  placement.y.assign(n, 0.0);
+
+  // Longest-path evaluation: b left-of c iff pos_p[b]<pos_p[c] and
+  // pos_n[b]<pos_n[c]; b below c iff pos_p[b]>pos_p[c] and pos_n[b]<pos_n[c].
+  // Process blocks in Γ− order for x (all left-of predecessors appear
+  // earlier in Γ−) and in reversed-Γ+ ∩ Γ− order for y; an O(n²) relaxation
+  // keeps it simple.
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto b = static_cast<std::size_t>(sp.negative[k]);
+    double x = 0.0;
+    for (std::size_t m = 0; m < k; ++m) {
+      const auto a = static_cast<std::size_t>(sp.negative[m]);
+      if (pos_p[a] < pos_p[b])
+        x = std::max(x, placement.x[a] + inst.blocks[a].width);
+    }
+    placement.x[b] = x;
+    placement.width =
+        std::max(placement.width, x + inst.blocks[b].width);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto b = static_cast<std::size_t>(sp.negative[k]);
+    double y = 0.0;
+    for (std::size_t m = 0; m < k; ++m) {
+      const auto a = static_cast<std::size_t>(sp.negative[m]);
+      if (pos_p[a] > pos_p[b])
+        y = std::max(y, placement.y[a] + inst.blocks[a].height);
+    }
+    placement.y[b] = y;
+    placement.height =
+        std::max(placement.height, y + inst.blocks[b].height);
+  }
+  return placement;
+}
+
+AppliedMove random_move(SequencePair& sp, wp::Rng& rng) {
+  const std::size_t n = sp.positive.size();
+  WP_REQUIRE(n >= 2, "need at least two blocks to perturb");
+  AppliedMove move;
+  move.kind = static_cast<SpMove>(rng.below(
+      static_cast<std::uint64_t>(SpMove::kCount)));
+  move.i = static_cast<std::size_t>(rng.below(n));
+  do {
+    move.j = static_cast<std::size_t>(rng.below(n));
+  } while (move.j == move.i);
+
+  switch (move.kind) {
+    case SpMove::kSwapPositive:
+      std::swap(sp.positive[move.i], sp.positive[move.j]);
+      break;
+    case SpMove::kSwapNegative:
+      std::swap(sp.negative[move.i], sp.negative[move.j]);
+      break;
+    case SpMove::kSwapBoth: {
+      std::swap(sp.positive[move.i], sp.positive[move.j]);
+      std::swap(sp.negative[move.i], sp.negative[move.j]);
+      break;
+    }
+    case SpMove::kCount:
+      break;
+  }
+  return move;
+}
+
+void undo_move(SequencePair& sp, const AppliedMove& move) {
+  switch (move.kind) {
+    case SpMove::kSwapPositive:
+      std::swap(sp.positive[move.i], sp.positive[move.j]);
+      break;
+    case SpMove::kSwapNegative:
+      std::swap(sp.negative[move.i], sp.negative[move.j]);
+      break;
+    case SpMove::kSwapBoth:
+      std::swap(sp.positive[move.i], sp.positive[move.j]);
+      std::swap(sp.negative[move.i], sp.negative[move.j]);
+      break;
+    case SpMove::kCount:
+      break;
+  }
+}
+
+}  // namespace wp::fplan

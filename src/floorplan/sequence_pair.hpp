@@ -1,0 +1,46 @@
+// Sequence-pair floorplan representation (Murata et al.) and its packing:
+// block b is left of c iff b precedes c in both sequences; below c iff b
+// precedes c in the second but follows it in the first. Packing evaluates
+// the induced horizontal/vertical constraint graphs with the classic
+// weighted longest-common-subsequence formulation.
+#pragma once
+
+#include <vector>
+
+#include "floorplan/model.hpp"
+#include "util/rng.hpp"
+
+namespace wp::fplan {
+
+struct SequencePair {
+  std::vector<int> positive;  ///< Γ+ : permutation of block indices
+  std::vector<int> negative;  ///< Γ− : permutation of block indices
+
+  /// Identity sequence pair (all blocks in a row).
+  static SequencePair identity(std::size_t num_blocks);
+
+  /// Random permutations.
+  static SequencePair random(std::size_t num_blocks, wp::Rng& rng);
+
+  bool valid(std::size_t num_blocks) const;
+};
+
+/// Packs the sequence pair into lower-left coordinates (O(n²) constraint
+/// evaluation — ample for block-level instances).
+Placement pack(const Instance& inst, const SequencePair& sp);
+
+/// Neighbourhood moves for annealing.
+enum class SpMove { kSwapPositive, kSwapNegative, kSwapBoth, kCount };
+
+/// Applies a random move in place; returns a description of the move so it
+/// can be undone by applying it again (all moves are involutions).
+struct AppliedMove {
+  SpMove kind = SpMove::kSwapBoth;
+  std::size_t i = 0;
+  std::size_t j = 0;
+};
+
+AppliedMove random_move(SequencePair& sp, wp::Rng& rng);
+void undo_move(SequencePair& sp, const AppliedMove& move);
+
+}  // namespace wp::fplan

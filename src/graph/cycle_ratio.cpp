@@ -1,0 +1,307 @@
+#include "graph/cycle_ratio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace wp::graph {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double exact_ratio_of_cycle(const Digraph& g,
+                            const std::vector<EdgeId>& cycle) {
+  long long tokens = 0;
+  long long latency = 0;
+  for (EdgeId e : cycle) {
+    tokens += g.edge(e).tokens;
+    latency += g.edge_latency(e);
+  }
+  WP_CHECK(latency > 0, "cycle with zero latency");
+  return static_cast<double>(tokens) / static_cast<double>(latency);
+}
+
+/// Bellman–Ford negative-cycle detection on weights
+/// w(e) = tokens_e − λ·latency_e. Returns a negative cycle's edges (empty if
+/// none). Works on the whole (possibly disconnected) graph by starting all
+/// distances at 0 (virtual super-source).
+std::vector<EdgeId> find_negative_cycle(const Digraph& g, double lambda) {
+  const int n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> dist(static_cast<std::size_t>(n), 0.0);
+  std::vector<EdgeId> pred_edge(static_cast<std::size_t>(n), -1);
+
+  EdgeId last_relaxed = -1;
+  for (int pass = 0; pass < n; ++pass) {
+    last_relaxed = -1;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& ed = g.edge(e);
+      const double w = static_cast<double>(ed.tokens) -
+                       lambda * static_cast<double>(g.edge_latency(e));
+      const auto s = static_cast<std::size_t>(ed.src);
+      const auto d = static_cast<std::size_t>(ed.dst);
+      if (dist[s] + w < dist[d] - 1e-15) {
+        dist[d] = dist[s] + w;
+        pred_edge[d] = e;
+        last_relaxed = e;
+      }
+    }
+    if (last_relaxed == -1) return {};  // converged, no negative cycle
+  }
+
+  // A relaxation happened on the n-th pass: walk predecessors from the
+  // relaxed edge's head to land inside the negative cycle, then extract it.
+  NodeId v = g.edge(last_relaxed).dst;
+  for (int i = 0; i < n; ++i) v = g.edge(pred_edge[static_cast<std::size_t>(v)]).src;
+
+  std::vector<EdgeId> cycle;
+  NodeId u = v;
+  do {
+    const EdgeId e = pred_edge[static_cast<std::size_t>(u)];
+    WP_CHECK(e >= 0, "broken predecessor chain");
+    cycle.push_back(e);
+    u = g.edge(e).src;
+  } while (u != v);
+  std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+bool has_any_cycle(const Digraph& g) {
+  // Kahn's algorithm: the graph has a cycle iff topological sort is partial.
+  const int n = g.num_nodes();
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    ++indegree[static_cast<std::size_t>(g.edge(e).dst)];
+  std::vector<NodeId> queue;
+  for (NodeId v = 0; v < n; ++v)
+    if (indegree[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+  int removed = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.back();
+    queue.pop_back();
+    ++removed;
+    for (EdgeId e : g.out_edges(v)) {
+      const NodeId w = g.edge(e).dst;
+      if (--indegree[static_cast<std::size_t>(w)] == 0) queue.push_back(w);
+    }
+  }
+  return removed != n;
+}
+
+}  // namespace
+
+CycleRatioResult min_cycle_ratio_exhaustive(const Digraph& g,
+                                            std::size_t max_cycles) {
+  CycleRatioResult result;
+  const auto cycles = enumerate_cycles(g, max_cycles);
+  for (const auto& c : cycles) {
+    const double r = c.throughput();
+    if (!result.has_cycle || r < result.ratio) {
+      result.ratio = r;
+      result.critical_cycle = c.edges;
+      result.has_cycle = true;
+    }
+  }
+  return result;
+}
+
+CycleRatioResult min_cycle_ratio_lawler(const Digraph& g, double epsilon) {
+  WP_REQUIRE(epsilon > 0, "epsilon must be positive");
+  CycleRatioResult result;
+  if (!has_any_cycle(g)) return result;
+
+  result.has_cycle = true;
+  // Ratio lies in [0, max tokens/latency]; with unit tokens it is within
+  // [0, 1], but keep the general bound.
+  double lo = 0.0;
+  double hi = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    hi = std::max(hi, static_cast<double>(g.edge(e).tokens));
+  hi = std::max(hi, 1.0);
+
+  // Invariant: some cycle has ratio < hi + ε; no cycle has ratio < lo.
+  std::vector<EdgeId> witness;
+  while (hi - lo > epsilon) {
+    const double mid = 0.5 * (lo + hi);
+    auto cycle = find_negative_cycle(g, mid);
+    if (!cycle.empty()) {
+      witness = std::move(cycle);
+      hi = exact_ratio_of_cycle(g, witness);  // jump straight to the ratio
+    } else {
+      lo = mid;
+    }
+  }
+  if (witness.empty()) {
+    // No cycle ever tested negative: every cycle has ratio >= hi; since
+    // tokens/latency <= hi for all edges, the min equals hi only when a
+    // cycle attains it. Fall back to a slightly relaxed probe.
+    witness = find_negative_cycle(g, hi + 10 * epsilon);
+    WP_CHECK(!witness.empty(), "Lawler search failed to find a witness");
+  }
+  result.critical_cycle = std::move(witness);
+  result.ratio = exact_ratio_of_cycle(g, result.critical_cycle);
+  return result;
+}
+
+CycleRatioResult min_cycle_ratio_howard(const Digraph& g) {
+  CycleRatioResult result;
+  const int n = g.num_nodes();
+  if (n == 0 || !has_any_cycle(g)) return result;
+  result.has_cycle = true;
+
+  // Work on the subgraph of nodes with out-edges; nodes without successors
+  // cannot lie on a cycle and take value +inf.
+  std::vector<EdgeId> policy(static_cast<std::size_t>(n), -1);
+  for (NodeId v = 0; v < n; ++v)
+    if (!g.out_edges(v).empty()) policy[static_cast<std::size_t>(v)] = g.out_edges(v).front();
+
+  auto edge_cost = [&](EdgeId e) {
+    return static_cast<double>(g.edge(e).tokens);
+  };
+  auto edge_time = [&](EdgeId e) {
+    return static_cast<double>(g.edge_latency(e));
+  };
+
+  std::vector<double> value(static_cast<std::size_t>(n), 0.0);
+  double best_ratio = kInf;
+  std::vector<EdgeId> best_cycle;
+
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    // 1. Find the minimum-ratio cycle of the current policy graph: follow
+    //    the policy from each unvisited node until a repeat.
+    std::vector<int> mark(static_cast<std::size_t>(n), -1);
+    best_ratio = kInf;
+    best_cycle.clear();
+    for (NodeId start = 0; start < n; ++start) {
+      if (mark[static_cast<std::size_t>(start)] != -1 ||
+          policy[static_cast<std::size_t>(start)] < 0)
+        continue;
+      NodeId v = start;
+      std::vector<NodeId> chain;
+      while (v >= 0 && mark[static_cast<std::size_t>(v)] == -1 &&
+             policy[static_cast<std::size_t>(v)] >= 0) {
+        mark[static_cast<std::size_t>(v)] = start;
+        chain.push_back(v);
+        v = g.edge(policy[static_cast<std::size_t>(v)]).dst;
+      }
+      if (v >= 0 && policy[static_cast<std::size_t>(v)] >= 0 &&
+          mark[static_cast<std::size_t>(v)] == start) {
+        // Found a fresh policy cycle starting at v.
+        std::vector<EdgeId> cycle;
+        double cost = 0.0, time = 0.0;
+        NodeId u = v;
+        do {
+          const EdgeId e = policy[static_cast<std::size_t>(u)];
+          cycle.push_back(e);
+          cost += edge_cost(e);
+          time += edge_time(e);
+          u = g.edge(e).dst;
+        } while (u != v);
+        const double r = cost / time;
+        if (r < best_ratio) {
+          best_ratio = r;
+          best_cycle = std::move(cycle);
+        }
+      }
+    }
+    WP_CHECK(best_ratio < kInf, "Howard: policy graph has no cycle");
+
+    // 2. Value determination: solve value(v) = cost − r·time + value(next)
+    //    along the policy, anchoring the critical cycle's nodes at 0.
+    std::fill(value.begin(), value.end(), kInf);
+    for (EdgeId e : best_cycle) value[static_cast<std::size_t>(g.edge(e).src)] = 0.0;
+    // Relax along reversed policy edges until fixpoint (≤ n passes).
+    for (int pass = 0; pass < n; ++pass) {
+      bool changed = false;
+      for (NodeId v = 0; v < n; ++v) {
+        const EdgeId e = policy[static_cast<std::size_t>(v)];
+        if (e < 0) continue;
+        const auto dst = static_cast<std::size_t>(g.edge(e).dst);
+        if (value[dst] == kInf) continue;
+        const double candidate =
+            edge_cost(e) - best_ratio * edge_time(e) + value[dst];
+        if (value[static_cast<std::size_t>(v)] == kInf ||
+            std::abs(candidate - value[static_cast<std::size_t>(v)]) > 1e-12) {
+          if (value[static_cast<std::size_t>(v)] == kInf) {
+            value[static_cast<std::size_t>(v)] = candidate;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    // Nodes that cannot reach the critical cycle keep +inf and never drive
+    // an improvement below.
+
+    // 3. Policy improvement.
+    bool improved = false;
+    for (NodeId v = 0; v < n; ++v) {
+      for (EdgeId e : g.out_edges(v)) {
+        const auto dst = static_cast<std::size_t>(g.edge(e).dst);
+        if (value[dst] == kInf) continue;
+        const double candidate =
+            edge_cost(e) - best_ratio * edge_time(e) + value[dst];
+        const double current = value[static_cast<std::size_t>(v)];
+        if (candidate < current - 1e-9) {
+          policy[static_cast<std::size_t>(v)] = e;
+          value[static_cast<std::size_t>(v)] = candidate;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  result.ratio = exact_ratio_of_cycle(g, best_cycle);
+  result.critical_cycle = std::move(best_cycle);
+
+  // Certify optimality: no cycle may have a strictly smaller ratio. Policy
+  // iteration with a single global ratio can stall on multi-chain policy
+  // graphs; when the certificate fails, defer to the parametric search.
+  if (!find_negative_cycle(g, result.ratio - 1e-9).empty())
+    return min_cycle_ratio_lawler(g);
+  return result;
+}
+
+std::optional<double> min_cycle_mean_karp(
+    const Digraph& g, const std::vector<double>& weight) {
+  WP_REQUIRE(static_cast<int>(weight.size()) == g.num_edges(),
+             "one weight per edge required");
+  const int n = g.num_nodes();
+  if (n == 0 || !has_any_cycle(g)) return std::nullopt;
+
+  // d[k][v] = min weight of a k-edge walk from the super-source to v; the
+  // super-source is emulated by d[0][v] = 0 for all v.
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<std::vector<double>> d(
+      un + 1, std::vector<double>(un, kInf));
+  std::fill(d[0].begin(), d[0].end(), 0.0);
+  for (std::size_t k = 1; k <= un; ++k) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& ed = g.edge(e);
+      const auto s = static_cast<std::size_t>(ed.src);
+      const auto t = static_cast<std::size_t>(ed.dst);
+      if (d[k - 1][s] == kInf) continue;
+      d[k][t] = std::min(d[k][t], d[k - 1][s] + weight[static_cast<std::size_t>(e)]);
+    }
+  }
+
+  double best = kInf;
+  for (std::size_t v = 0; v < un; ++v) {
+    if (d[un][v] == kInf) continue;
+    double worst = -kInf;
+    for (std::size_t k = 0; k < un; ++k) {
+      if (d[k][v] == kInf) continue;
+      worst = std::max(worst, (d[un][v] - d[k][v]) /
+                                  static_cast<double>(un - k));
+    }
+    if (worst != -kInf) best = std::min(best, worst);
+  }
+  if (best == kInf) return std::nullopt;
+  return best;
+}
+
+}  // namespace wp::graph

@@ -1,0 +1,54 @@
+// Minimum cycle ratio / minimum cycle mean solvers.
+//
+// Under the marked-graph semantics of latency-insensitive systems, the
+// sustainable system throughput is
+//
+//     Th* = min over cycles C  (Σ_e∈C tokens_e) / (Σ_e∈C (1 + rs_e)),
+//
+// the paper's "the worst loop dominates the system" with Th = m/(m+n) per
+// loop. Three solvers are provided and cross-checked by the test suite:
+//
+//   * exhaustive    — via Johnson enumeration; exact, small graphs only;
+//   * Lawler        — parametric binary search with Bellman–Ford negative-
+//                     cycle tests; O(E·V·log(1/ε)), then exact ratio
+//                     recovery from the critical cycle;
+//   * Howard        — policy iteration; fast in practice on large graphs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/cycles.hpp"
+#include "graph/digraph.hpp"
+
+namespace wp::graph {
+
+struct CycleRatioResult {
+  /// The minimum ratio (system throughput). 1.0 when the graph is acyclic
+  /// (no loop constrains the system).
+  double ratio = 1.0;
+  /// A critical cycle attaining the ratio (empty if acyclic).
+  std::vector<EdgeId> critical_cycle;
+  bool has_cycle = false;
+};
+
+/// Exact minimum via full enumeration (throws if the graph has more than
+/// `max_cycles` elementary cycles).
+CycleRatioResult min_cycle_ratio_exhaustive(const Digraph& g,
+                                            std::size_t max_cycles = 100000);
+
+/// Lawler's parametric search. `epsilon` bounds the binary-search interval
+/// before exact recovery from the critical cycle.
+CycleRatioResult min_cycle_ratio_lawler(const Digraph& g,
+                                        double epsilon = 1e-9);
+
+/// Howard's policy-iteration algorithm.
+CycleRatioResult min_cycle_ratio_howard(const Digraph& g);
+
+/// Karp's minimum cycle mean over edge weights w(e) = value. Returns
+/// nullopt for acyclic graphs. Included for retiming-style analyses and as
+/// an independently testable classic.
+std::optional<double> min_cycle_mean_karp(const Digraph& g,
+                                          const std::vector<double>& weight);
+
+}  // namespace wp::graph

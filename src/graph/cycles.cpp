@@ -1,0 +1,113 @@
+#include "graph/cycles.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wp::graph {
+
+namespace {
+
+/// Johnson's elementary-circuit algorithm over the subgraph induced by
+/// nodes >= root, rooted at `root` (nodes below the root are logically
+/// removed, which yields each cycle exactly once, anchored at its smallest
+/// node).
+class JohnsonEnumerator {
+ public:
+  JohnsonEnumerator(const Digraph& g, std::size_t max_cycles)
+      : g_(g), max_cycles_(max_cycles) {
+    const auto n = static_cast<std::size_t>(g.num_nodes());
+    blocked_.assign(n, false);
+    block_list_.assign(n, {});
+  }
+
+  std::vector<CycleInfo> run() {
+    for (NodeId root = 0; root < g_.num_nodes(); ++root) {
+      root_ = root;
+      std::fill(blocked_.begin(), blocked_.end(), false);
+      for (auto& list : block_list_) list.clear();
+      circuit(root);
+    }
+    return std::move(cycles_);
+  }
+
+ private:
+  void unblock(NodeId v) {
+    blocked_[static_cast<std::size_t>(v)] = false;
+    for (NodeId w : block_list_[static_cast<std::size_t>(v)])
+      if (blocked_[static_cast<std::size_t>(w)]) unblock(w);
+    block_list_[static_cast<std::size_t>(v)].clear();
+  }
+
+  bool circuit(NodeId v) {
+    bool found = false;
+    blocked_[static_cast<std::size_t>(v)] = true;
+    for (EdgeId e : g_.out_edges(v)) {
+      const NodeId w = g_.edge(e).dst;
+      if (w < root_) continue;  // removed from this root's subgraph
+      if (w == root_) {
+        path_.push_back(e);
+        emit();
+        path_.pop_back();
+        found = true;
+      } else if (!blocked_[static_cast<std::size_t>(w)]) {
+        path_.push_back(e);
+        if (circuit(w)) found = true;
+        path_.pop_back();
+      }
+    }
+    if (found) {
+      unblock(v);
+    } else {
+      for (EdgeId e : g_.out_edges(v)) {
+        const NodeId w = g_.edge(e).dst;
+        if (w < root_) continue;
+        auto& list = block_list_[static_cast<std::size_t>(w)];
+        if (std::find(list.begin(), list.end(), v) == list.end())
+          list.push_back(v);
+      }
+    }
+    return found;
+  }
+
+  void emit() {
+    WP_CHECK(cycles_.size() < max_cycles_,
+             "cycle enumeration exceeded the configured bound");
+    CycleInfo info;
+    info.edges = path_;
+    info.processes = static_cast<int>(path_.size());
+    for (EdgeId e : path_) {
+      info.relay_stations += g_.edge(e).relay_stations;
+      info.tokens += g_.edge(e).tokens;
+      info.latency += g_.edge_latency(e);
+    }
+    cycles_.push_back(std::move(info));
+  }
+
+  const Digraph& g_;
+  std::size_t max_cycles_;
+  NodeId root_ = 0;
+  std::vector<bool> blocked_;
+  std::vector<std::vector<NodeId>> block_list_;
+  std::vector<EdgeId> path_;
+  std::vector<CycleInfo> cycles_;
+};
+
+}  // namespace
+
+std::vector<CycleInfo> enumerate_cycles(const Digraph& g,
+                                        std::size_t max_cycles) {
+  return JohnsonEnumerator(g, max_cycles).run();
+}
+
+std::string cycle_to_string(const Digraph& g, const CycleInfo& cycle) {
+  WP_REQUIRE(!cycle.edges.empty(), "empty cycle");
+  std::string out = g.node_name(g.edge(cycle.edges.front()).src);
+  for (EdgeId e : cycle.edges) {
+    out += " -> ";
+    out += g.node_name(g.edge(e).dst);
+  }
+  return out;
+}
+
+}  // namespace wp::graph

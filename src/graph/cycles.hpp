@@ -1,0 +1,37 @@
+// Elementary-cycle enumeration (Johnson 1975), used to produce the paper's
+// Figure-1-style loop inventory: every netlist loop with its process count m
+// and relay-station count n, hence its WP1 throughput m/(m+n).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace wp::graph {
+
+/// One elementary cycle, as the sequence of edge ids traversed.
+struct CycleInfo {
+  std::vector<EdgeId> edges;
+  int processes = 0;       ///< m: nodes on the loop
+  int relay_stations = 0;  ///< n: relay stations summed over the loop edges
+  int tokens = 0;          ///< initial tokens summed over the loop edges
+  int latency = 0;         ///< Σ (1 + rs_e)
+
+  /// Sustainable WP1 throughput of this loop: tokens / latency = m/(m+n).
+  double throughput() const {
+    return latency == 0 ? 1.0
+                        : static_cast<double>(tokens) /
+                              static_cast<double>(latency);
+  }
+};
+
+/// Enumerates elementary cycles. Aborts (throws) after `max_cycles` cycles
+/// to keep pathological graphs from exploding; the case-study graphs have a
+/// handful.
+std::vector<CycleInfo> enumerate_cycles(const Digraph& g,
+                                        std::size_t max_cycles = 100000);
+
+/// Formats a cycle as "A -> B -> A" using node names.
+std::string cycle_to_string(const Digraph& g, const CycleInfo& cycle);
+
+}  // namespace wp::graph

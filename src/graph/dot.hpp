@@ -1,0 +1,22 @@
+// Graphviz export of a system topology — the reproduction of the paper's
+// Figure 1. Edges are annotated with their connection label and the number
+// of relay stations currently configured.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace wp::graph {
+
+struct DotOptions {
+  std::string title = "wirepipe system";
+  bool show_relay_stations = true;
+  /// Edges on the system-critical loop are drawn bold red.
+  bool highlight_critical_loop = true;
+};
+
+/// Renders the graph in DOT syntax.
+std::string to_dot(const Digraph& g, const DotOptions& options = {});
+
+}  // namespace wp::graph

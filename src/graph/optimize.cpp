@@ -1,0 +1,108 @@
+#include "graph/optimize.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "graph/cycle_ratio.hpp"
+#include "util/assert.hpp"
+
+namespace wp::graph {
+
+namespace {
+
+RsAssignment apply_relief(const RsOptimizeProblem& problem,
+                          const std::vector<std::string>& relieved) {
+  RsAssignment assignment = problem.demand;
+  for (const auto& name : relieved) {
+    auto it = problem.relieved.find(name);
+    WP_REQUIRE(it != problem.relieved.end(),
+               "no relieved count for connection " + name);
+    assignment[name] = it->second;
+  }
+  return assignment;
+}
+
+}  // namespace
+
+RsOptimizeResult optimize_rs_exhaustive(const RsOptimizeProblem& problem,
+                                        const RsObjective& objective) {
+  WP_REQUIRE(problem.max_relieved >= 0, "negative relief budget");
+  std::vector<std::string> names;
+  names.reserve(problem.demand.size());
+  for (const auto& [name, count] : problem.demand) {
+    (void)count;
+    names.push_back(name);
+  }
+  const std::size_t n = names.size();
+  WP_REQUIRE(n <= 20, "exhaustive search limited to 20 connections");
+
+  RsOptimizeResult best;
+  best.objective = -1.0;
+  for (std::uint32_t subset = 0; subset < (1u << n); ++subset) {
+    if (static_cast<int>(std::popcount(subset)) > problem.max_relieved)
+      continue;
+    std::vector<std::string> relieved;
+    for (std::size_t i = 0; i < n; ++i)
+      if ((subset >> i) & 1u) relieved.push_back(names[i]);
+    const RsAssignment assignment = apply_relief(problem, relieved);
+    const double value = objective(assignment);
+    ++best.evaluations;
+    if (value > best.objective) {
+      best.objective = value;
+      best.assignment = assignment;
+      best.relieved_connections = std::move(relieved);
+    }
+  }
+  return best;
+}
+
+RsOptimizeResult optimize_rs_greedy(const RsOptimizeProblem& problem,
+                                    const RsObjective& objective) {
+  WP_REQUIRE(problem.max_relieved >= 0, "negative relief budget");
+  RsOptimizeResult result;
+  std::vector<std::string> candidates;
+  for (const auto& [name, count] : problem.demand) {
+    (void)count;
+    candidates.push_back(name);
+  }
+
+  result.assignment = problem.demand;
+  result.objective = objective(result.assignment);
+  ++result.evaluations;
+
+  for (int round = 0; round < problem.max_relieved; ++round) {
+    std::string best_name;
+    double best_value = result.objective;
+    for (const auto& name : candidates) {
+      if (std::find(result.relieved_connections.begin(),
+                    result.relieved_connections.end(),
+                    name) != result.relieved_connections.end())
+        continue;
+      auto relieved = result.relieved_connections;
+      relieved.push_back(name);
+      const double value = objective(apply_relief(problem, relieved));
+      ++result.evaluations;
+      if (value > best_value) {
+        best_value = value;
+        best_name = name;
+      }
+    }
+    if (best_name.empty()) break;  // no relief improves the objective
+    result.relieved_connections.push_back(best_name);
+    result.objective = best_value;
+    result.assignment = apply_relief(problem, result.relieved_connections);
+  }
+  return result;
+}
+
+RsObjective static_objective(Digraph g) {
+  return [g = std::move(g)](const RsAssignment& assignment) mutable {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      auto it = assignment.find(g.edge(e).label);
+      if (it != assignment.end()) g.edge(e).relay_stations = it->second;
+    }
+    return min_cycle_ratio_lawler(g).ratio;
+  };
+}
+
+}  // namespace wp::graph

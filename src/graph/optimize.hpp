@@ -1,0 +1,60 @@
+// Relay-station placement optimization: given per-connection minimum
+// relay-station requirements (e.g. derived from wire lengths after
+// floorplanning) and a budget of connections that may be relieved (kept
+// short, routed on upper metal, …), choose the assignment that maximizes
+// throughput. Produces the paper's "Optimal k" configurations.
+//
+// Two objectives are supported:
+//   * the static objective — min cycle ratio of the graph (WP1 throughput);
+//   * a caller-supplied objective (e.g. simulated WP2 throughput of the
+//     case-study processor under a given program).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace wp::graph {
+
+/// One candidate assignment: relay stations per connection name.
+using RsAssignment = std::map<std::string, int>;
+
+/// Objective: larger is better (throughput of the assignment).
+using RsObjective = std::function<double(const RsAssignment&)>;
+
+struct RsOptimizeProblem {
+  /// The required counts if a connection is not relieved.
+  RsAssignment demand;
+  /// Counts a relieved connection falls back to (usually demand-1 or 0).
+  RsAssignment relieved;
+  /// Maximum number of connections that may be relieved.
+  int max_relieved = 0;
+};
+
+struct RsOptimizeResult {
+  RsAssignment assignment;
+  std::vector<std::string> relieved_connections;
+  double objective = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Exhaustively tries every subset of at most `max_relieved` relieved
+/// connections (the Table-1 topology has 10, so this is cheap) and returns
+/// the best assignment under the objective.
+RsOptimizeResult optimize_rs_exhaustive(const RsOptimizeProblem& problem,
+                                        const RsObjective& objective);
+
+/// Greedy variant for large systems: repeatedly relieves the connection
+/// yielding the best objective improvement until the budget is exhausted or
+/// no relief helps.
+RsOptimizeResult optimize_rs_greedy(const RsOptimizeProblem& problem,
+                                    const RsObjective& objective);
+
+/// The static objective: min cycle ratio of `g` with the assignment applied
+/// to the connection labels of its edges (edge label == connection name).
+RsObjective static_objective(Digraph g);
+
+}  // namespace wp::graph

@@ -1,0 +1,43 @@
+#include "graph/random_graphs.hpp"
+
+#include "util/assert.hpp"
+
+namespace wp::graph {
+
+Digraph random_digraph(const RandomGraphConfig& config, wp::Rng& rng) {
+  WP_REQUIRE(config.num_nodes >= 1, "need at least one node");
+  Digraph g;
+  for (int i = 0; i < config.num_nodes; ++i)
+    g.add_node("p" + std::to_string(i));
+
+  auto random_rs = [&] {
+    return static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(config.max_relay_stations) + 1));
+  };
+
+  if (config.ensure_cycle && config.num_nodes >= 2) {
+    for (int i = 0; i < config.num_nodes; ++i)
+      g.add_edge(i, (i + 1) % config.num_nodes, "ring", random_rs());
+  }
+  for (int u = 0; u < config.num_nodes; ++u) {
+    for (int v = 0; v < config.num_nodes; ++v) {
+      if (u == v) continue;
+      if (rng.chance(config.edge_probability))
+        g.add_edge(u, v, "e", random_rs());
+    }
+  }
+  return g;
+}
+
+Digraph ring_graph(int num_nodes, const std::vector<int>& rs_pattern) {
+  WP_REQUIRE(num_nodes >= 1, "need at least one node");
+  WP_REQUIRE(!rs_pattern.empty(), "relay-station pattern must be non-empty");
+  Digraph g;
+  for (int i = 0; i < num_nodes; ++i) g.add_node("p" + std::to_string(i));
+  for (int i = 0; i < num_nodes; ++i)
+    g.add_edge(i, (i + 1) % num_nodes, "ring",
+               rs_pattern[static_cast<std::size_t>(i) % rs_pattern.size()]);
+  return g;
+}
+
+}  // namespace wp::graph

@@ -1,0 +1,25 @@
+// Random graph generators for property tests and the solver benchmarks.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace wp::graph {
+
+struct RandomGraphConfig {
+  int num_nodes = 8;
+  /// Probability of each ordered pair (u,v), u != v, getting an edge.
+  double edge_probability = 0.3;
+  int max_relay_stations = 3;
+  /// Guarantees at least one cycle by closing a random ring first.
+  bool ensure_cycle = true;
+};
+
+/// Erdős–Rényi-style digraph with random relay-station counts.
+Digraph random_digraph(const RandomGraphConfig& config, wp::Rng& rng);
+
+/// A single directed ring of `num_nodes` nodes with the given per-edge
+/// relay-station counts (cyclically repeated) — the textbook m/(m+n) case.
+Digraph ring_graph(int num_nodes, const std::vector<int>& rs_pattern);
+
+}  // namespace wp::graph

@@ -1,0 +1,212 @@
+#include "graph/retiming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace wp::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<int> edge_registers(const Digraph& g) {
+  std::vector<int> registers(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    WP_REQUIRE(g.edge(e).tokens >= 0, "negative token count");
+    registers[static_cast<std::size_t>(e)] =
+        g.edge(e).tokens + g.edge(e).relay_stations;
+  }
+  return registers;
+}
+
+std::optional<double> clock_period(const Digraph& g,
+                                   const std::vector<int>& registers,
+                                   const std::vector<double>& node_delay) {
+  const int n = g.num_nodes();
+  WP_REQUIRE(static_cast<int>(registers.size()) == g.num_edges(),
+             "one register count per edge required");
+  WP_REQUIRE(static_cast<int>(node_delay.size()) == n,
+             "one delay per node required");
+  for (int r : registers) WP_REQUIRE(r >= 0, "negative register count");
+
+  // Longest path over the zero-register subgraph (must be a DAG).
+  // Kahn order over zero-weight edges only.
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (registers[static_cast<std::size_t>(e)] == 0)
+      ++indegree[static_cast<std::size_t>(g.edge(e).dst)];
+
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v)
+    if (indegree[static_cast<std::size_t>(v)] == 0) order.push_back(v);
+  std::vector<double> arrival(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v)
+    arrival[static_cast<std::size_t>(v)] = node_delay[static_cast<std::size_t>(v)];
+
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const NodeId v = order[head];
+    for (EdgeId e : g.out_edges(v)) {
+      if (registers[static_cast<std::size_t>(e)] != 0) continue;
+      const auto w = static_cast<std::size_t>(g.edge(e).dst);
+      arrival[w] = std::max(arrival[w],
+                            arrival[static_cast<std::size_t>(v)] +
+                                node_delay[w]);
+      if (--indegree[w] == 0) order.push_back(g.edge(e).dst);
+    }
+  }
+  if (order.size() != static_cast<std::size_t>(n)) {
+    // Some node never reached indegree 0: a register-free cycle exists.
+    return std::nullopt;
+  }
+  double period = 0.0;
+  for (double a : arrival) period = std::max(period, a);
+  return period;
+}
+
+std::vector<int> apply_retiming(const Digraph& g,
+                                const std::vector<int>& registers,
+                                const std::vector<int>& retiming) {
+  WP_REQUIRE(static_cast<int>(retiming.size()) == g.num_nodes(),
+             "one retiming label per node required");
+  std::vector<int> out = registers;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    out[static_cast<std::size_t>(e)] +=
+        retiming[static_cast<std::size_t>(ed.dst)] -
+        retiming[static_cast<std::size_t>(ed.src)];
+  }
+  return out;
+}
+
+RetimingResult min_period_retiming(const Digraph& g,
+                                   const std::vector<double>& node_delay) {
+  RetimingResult result;
+  const int n = g.num_nodes();
+  WP_REQUIRE(static_cast<int>(node_delay.size()) == n,
+             "one delay per node required");
+  const std::vector<int> w0 = edge_registers(g);
+  if (n == 0) return result;
+
+  // --- W and D matrices -------------------------------------------------
+  // Shortest paths under the lexicographic cost (registers, −delay(tail)):
+  // W(u,v) = min registers over u→v paths; D(u,v) = max delay along those
+  // minimum-register paths.
+  struct Cost {
+    double w = kInf;   // registers (double for the infinity sentinel)
+    double x = kInf;   // Σ −d(tail) along the path
+  };
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<std::vector<Cost>> dist(un, std::vector<Cost>(un));
+  for (std::size_t v = 0; v < un; ++v) dist[v][v] = {0.0, 0.0};
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    const auto u = static_cast<std::size_t>(ed.src);
+    const auto v = static_cast<std::size_t>(ed.dst);
+    if (u == v) continue;  // self-loops never constrain retiming pairs
+    const Cost candidate{static_cast<double>(w0[static_cast<std::size_t>(e)]),
+                         -node_delay[u]};
+    const auto& current = dist[u][v];
+    if (candidate.w < current.w ||
+        (candidate.w == current.w && candidate.x < current.x))
+      dist[u][v] = candidate;
+  }
+  for (std::size_t k = 0; k < un; ++k)
+    for (std::size_t i = 0; i < un; ++i) {
+      if (dist[i][k].w == kInf) continue;
+      for (std::size_t j = 0; j < un; ++j) {
+        if (dist[k][j].w == kInf) continue;
+        const Cost via{dist[i][k].w + dist[k][j].w,
+                       dist[i][k].x + dist[k][j].x};
+        if (via.w < dist[i][j].w ||
+            (via.w == dist[i][j].w && via.x < dist[i][j].x))
+          dist[i][j] = via;
+      }
+    }
+
+  auto D = [&](std::size_t u, std::size_t v) {
+    return node_delay[v] - dist[u][v].x;
+  };
+
+  // Candidate periods: all distinct D(u,v) (plus single-node delays).
+  std::set<double> candidates(node_delay.begin(), node_delay.end());
+  for (std::size_t u = 0; u < un; ++u)
+    for (std::size_t v = 0; v < un; ++v)
+      if (dist[u][v].w != kInf) candidates.insert(D(u, v));
+
+  // --- feasibility test: difference constraints via Bellman–Ford --------
+  // r(u) − r(v) ≤ w(e) for every edge u→v, and r(u) − r(v) ≤ W(u,v) − 1
+  // for every pair with D(u,v) > c.
+  auto feasible = [&](double c,
+                      std::vector<int>* labels) -> bool {
+    std::vector<double> r(un, 0.0);
+    for (int pass = 0; pass <= n; ++pass) {
+      bool changed = false;
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const auto& ed = g.edge(e);
+        const auto u = static_cast<std::size_t>(ed.src);
+        const auto v = static_cast<std::size_t>(ed.dst);
+        // r(u) <= r(v) + w(e)
+        const double bound =
+            r[v] + static_cast<double>(w0[static_cast<std::size_t>(e)]);
+        if (r[u] > bound + 1e-9) {
+          r[u] = bound;
+          changed = true;
+        }
+      }
+      for (std::size_t u = 0; u < un; ++u)
+        for (std::size_t v = 0; v < un; ++v) {
+          if (u == v || dist[u][v].w == kInf || D(u, v) <= c + 1e-9)
+            continue;
+          const double bound = r[v] + dist[u][v].w - 1.0;
+          if (r[u] > bound + 1e-9) {
+            r[u] = bound;
+            changed = true;
+          }
+        }
+      if (!changed) {
+        if (labels) {
+          labels->resize(un);
+          for (std::size_t v = 0; v < un; ++v)
+            (*labels)[v] = static_cast<int>(std::lround(r[v]));
+        }
+        return true;
+      }
+    }
+    return false;  // still relaxing after n passes: negative cycle
+  };
+
+  // --- binary search over the sorted candidates -------------------------
+  std::vector<double> sorted(candidates.begin(), candidates.end());
+  std::size_t lo = 0, hi = sorted.size();
+  std::vector<int> best_labels;
+  double best_period = kInf;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::vector<int> labels;
+    if (feasible(sorted[mid], &labels)) {
+      best_period = sorted[mid];
+      best_labels = std::move(labels);
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (best_period == kInf) return result;  // no legal retiming (rare)
+
+  result.feasible = true;
+  result.retiming = std::move(best_labels);
+  result.registers = apply_retiming(g, w0, result.retiming);
+  for (int reg : result.registers)
+    WP_CHECK(reg >= 0, "retiming produced a negative register count");
+  const auto period = clock_period(g, result.registers, node_delay);
+  WP_CHECK(period.has_value(), "retimed circuit has a register-free cycle");
+  result.period = *period;
+  return result;
+}
+
+}  // namespace wp::graph

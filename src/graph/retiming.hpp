@@ -1,0 +1,53 @@
+// Leiserson–Saxe retiming over the system graph: registers (the implicit
+// per-channel register plus relay stations) are moved across processes
+// without changing any loop's register sum — hence without changing the
+// m/(m+n) throughput of any loop — to minimize the combinational clock
+// period. In a wire-pipelined SoC this is the tool that rebalances relay
+// stations along a route after floorplanning.
+//
+// Model: edge e = (u → v) carries w(e) ≥ 0 registers; node v has
+// combinational delay d(v) > 0. A retiming r : V → Z relabels
+// w_r(e) = w(e) + r(v) − r(u); it is legal iff every w_r(e) ≥ 0. The clock
+// period of a weighting is the longest combinational path: the maximum
+// total node delay along any path whose edges all have zero registers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace wp::graph {
+
+/// Register count per edge used by the retimer: tokens + relay_stations
+/// (the channel's own registers plus its pipeline stages). Setting an
+/// edge's tokens to 0 models a purely combinational link, the case where
+/// retiming has real work to do.
+std::vector<int> edge_registers(const Digraph& g);
+
+/// Clock period of a weighting: the maximum node-delay sum along any
+/// register-free path, or nullopt if some cycle has no registers at all
+/// (combinationally infeasible).
+std::optional<double> clock_period(const Digraph& g,
+                                   const std::vector<int>& registers,
+                                   const std::vector<double>& node_delay);
+
+struct RetimingResult {
+  bool feasible = false;
+  double period = 0.0;             ///< achieved clock period
+  std::vector<int> retiming;       ///< r(v) per node
+  std::vector<int> registers;      ///< retimed register count per edge
+};
+
+/// Minimum-period retiming (Leiserson–Saxe OPT: W/D matrices + binary
+/// search over candidate periods with Bellman–Ford feasibility). Requires
+/// every cycle to carry at least one register.
+RetimingResult min_period_retiming(const Digraph& g,
+                                   const std::vector<double>& node_delay);
+
+/// Applies a retiming to per-edge register counts (exposed for tests).
+std::vector<int> apply_retiming(const Digraph& g,
+                                const std::vector<int>& registers,
+                                const std::vector<int>& retiming);
+
+}  // namespace wp::graph

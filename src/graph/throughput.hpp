@@ -1,0 +1,43 @@
+// Static throughput analysis of a wire-pipelined system: the per-loop
+// inventory behind the paper's Figure 1 discussion and the m/(m+n) WP1
+// predictions of Table 1.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/cycle_ratio.hpp"
+#include "graph/cycles.hpp"
+#include "graph/digraph.hpp"
+
+namespace wp::graph {
+
+/// One row of the loop inventory.
+struct LoopReportEntry {
+  std::string description;  ///< "CU -> IC -> CU"
+  int m = 0;                ///< processes on the loop
+  int n = 0;                ///< relay stations on the loop
+  double throughput = 1.0;  ///< m/(m+n) with the current RS counts
+};
+
+struct ThroughputReport {
+  std::vector<LoopReportEntry> loops;  ///< sorted by ascending throughput
+  double system_throughput = 1.0;      ///< min over loops (1.0 if acyclic)
+  std::string critical_loop;           ///< description of the worst loop
+};
+
+/// Enumerates all loops and evaluates each with the graph's current
+/// relay-station counts.
+ThroughputReport analyze_throughput(const Digraph& g);
+
+/// System throughput only (min cycle ratio, no enumeration) — scales to
+/// graphs whose loop count explodes.
+double system_throughput(const Digraph& g);
+
+/// WP1 throughput prediction for a named single-connection configuration:
+/// the minimum m/(m+n) over the loops that traverse at least one edge with
+/// relay stations. Loops untouched by pipelining run at 1.0.
+double predicted_wp1_throughput(const Digraph& g);
+
+}  // namespace wp::graph

@@ -1,0 +1,186 @@
+#include "proc/assembler.hpp"
+
+#include <map>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace wp::proc {
+
+namespace {
+
+struct Line {
+  int number = 0;
+  std::vector<std::string> tokens;  // mnemonic + operands, label removed
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  WP_REQUIRE(false, "assembly error at line " + std::to_string(line) + ": " +
+                        msg);
+  __builtin_unreachable();
+}
+
+std::uint8_t parse_reg(const std::string& tok, int line) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+    fail(line, "expected register, got '" + tok + "'");
+  long long idx = 0;
+  try {
+    idx = parse_int(tok.substr(1));
+  } catch (const ContractViolation&) {
+    fail(line, "bad register '" + tok + "'");
+  }
+  if (idx < 0 || idx >= kNumRegisters)
+    fail(line, "register out of range: '" + tok + "'");
+  return static_cast<std::uint8_t>(idx);
+}
+
+/// Parses "imm(rN)" into (imm, reg).
+std::pair<std::int32_t, std::uint8_t> parse_mem_operand(
+    const std::string& tok, int line) {
+  const auto open = tok.find('(');
+  const auto close = tok.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open || close != tok.size() - 1)
+    fail(line, "expected imm(rN), got '" + tok + "'");
+  std::int32_t imm = 0;
+  if (open > 0) imm = static_cast<std::int32_t>(parse_int(tok.substr(0, open)));
+  const std::uint8_t reg =
+      parse_reg(tok.substr(open + 1, close - open - 1), line);
+  return {imm, reg};
+}
+
+}  // namespace
+
+AssemblyResult assemble(const std::string& source) {
+  // Pass 0: strip comments, collect labels and token lists.
+  std::map<std::string, std::int32_t> labels;
+  std::vector<Line> lines;
+  int number = 0;
+  for (const auto& raw : split(source, '\n')) {
+    ++number;
+    std::string text = raw;
+    for (const char marker : {';', '#'}) {
+      const auto pos = text.find(marker);
+      if (pos != std::string::npos) text.resize(pos);
+    }
+    std::string body{trim(text)};
+    if (body.empty()) continue;
+
+    // Leading labels (possibly several on one line).
+    for (;;) {
+      const auto colon = body.find(':');
+      if (colon == std::string::npos) break;
+      const std::string head{trim(body.substr(0, colon))};
+      if (head.empty() || head.find(' ') != std::string::npos) break;
+      if (labels.count(head)) fail(number, "duplicate label '" + head + "'");
+      labels[head] = static_cast<std::int32_t>(lines.size());
+      body = trim(body.substr(colon + 1));
+    }
+    if (body.empty()) continue;
+
+    // Tokenize: mnemonic, then comma-separated operands.
+    Line line;
+    line.number = number;
+    const auto space = body.find_first_of(" \t");
+    line.tokens.push_back(std::string{body.substr(0, space)});
+    if (space != std::string::npos) {
+      for (auto& opnd : split(body.substr(space + 1), ',')) {
+        const std::string t{trim(opnd)};
+        if (t.empty()) fail(number, "empty operand");
+        line.tokens.push_back(t);
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+
+  // Pass 1: encode.
+  auto parse_target = [&](const std::string& tok, int ln) -> std::int32_t {
+    auto it = labels.find(tok);
+    if (it != labels.end()) return it->second;
+    try {
+      return static_cast<std::int32_t>(parse_int(tok));
+    } catch (const ContractViolation&) {
+      fail(ln, "unknown label or bad immediate '" + tok + "'");
+    }
+  };
+
+  AssemblyResult result;
+  for (const auto& line : lines) {
+    const std::string mnemonic = to_lower(line.tokens[0]);
+    const auto argc = line.tokens.size() - 1;
+    auto expect = [&](std::size_t n) {
+      if (argc != n)
+        fail(line.number, mnemonic + " expects " + std::to_string(n) +
+                              " operand(s), got " + std::to_string(argc));
+    };
+    auto reg = [&](std::size_t i) { return parse_reg(line.tokens[i], line.number); };
+
+    Instr instr;
+    if (mnemonic == "nop") {
+      expect(0);
+      instr.op = Opcode::kNop;
+    } else if (mnemonic == "halt") {
+      expect(0);
+      instr.op = Opcode::kHalt;
+    } else if (mnemonic == "li") {
+      expect(2);
+      instr.op = Opcode::kLi;
+      instr.rd = reg(1);
+      instr.imm = parse_target(line.tokens[2], line.number);
+    } else if (mnemonic == "addi") {
+      expect(3);
+      instr.op = Opcode::kAddi;
+      instr.rd = reg(1);
+      instr.rs1 = reg(2);
+      instr.imm = parse_target(line.tokens[3], line.number);
+    } else if (mnemonic == "add" || mnemonic == "sub" || mnemonic == "mul" ||
+               mnemonic == "and" || mnemonic == "or" || mnemonic == "xor") {
+      expect(3);
+      instr.op = mnemonic == "add"   ? Opcode::kAdd
+                 : mnemonic == "sub" ? Opcode::kSub
+                 : mnemonic == "mul" ? Opcode::kMul
+                 : mnemonic == "and" ? Opcode::kAnd
+                 : mnemonic == "or"  ? Opcode::kOr
+                                     : Opcode::kXor;
+      instr.rd = reg(1);
+      instr.rs1 = reg(2);
+      instr.rs2 = reg(3);
+    } else if (mnemonic == "cmp") {
+      expect(2);
+      instr.op = Opcode::kCmp;
+      instr.rs1 = reg(1);
+      instr.rs2 = reg(2);
+    } else if (mnemonic == "ld") {
+      expect(2);
+      instr.op = Opcode::kLd;
+      instr.rd = reg(1);
+      const auto [imm, base] = parse_mem_operand(line.tokens[2], line.number);
+      instr.imm = imm;
+      instr.rs1 = base;
+    } else if (mnemonic == "st") {
+      expect(2);
+      instr.op = Opcode::kSt;
+      instr.rs2 = reg(1);
+      const auto [imm, base] = parse_mem_operand(line.tokens[2], line.number);
+      instr.imm = imm;
+      instr.rs1 = base;
+    } else if (mnemonic == "beq" || mnemonic == "bne" || mnemonic == "blt" ||
+               mnemonic == "bge" || mnemonic == "jmp") {
+      expect(1);
+      instr.op = mnemonic == "beq"   ? Opcode::kBeq
+                 : mnemonic == "bne" ? Opcode::kBne
+                 : mnemonic == "blt" ? Opcode::kBlt
+                 : mnemonic == "bge" ? Opcode::kBge
+                                     : Opcode::kJmp;
+      instr.imm = parse_target(line.tokens[1], line.number);
+    } else {
+      fail(line.number, "unknown mnemonic '" + mnemonic + "'");
+    }
+    result.listing.push_back(instr);
+    result.rom.push_back(encode(instr));
+  }
+  WP_REQUIRE(!result.rom.empty(), "empty program");
+  return result;
+}
+
+}  // namespace wp::proc

@@ -1,0 +1,29 @@
+// Two-pass assembler for the case-study ISA: labels, comments (';' or '#'),
+// and one instruction per line. Produces the ROM image consumed by the
+// instruction cache.
+//
+// Syntax (registers r0..r15, immediates decimal/hex, labels trailing ':'):
+//   loop:  ld   r3, 0(r2)      ; r3 = mem[r2+0]
+//          addi r2, r2, 1
+//          cmp  r2, r4
+//          blt  loop
+//          halt
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "proc/isa.hpp"
+
+namespace wp::proc {
+
+struct AssemblyResult {
+  std::vector<Word> rom;         ///< encoded instructions
+  std::vector<Instr> listing;    ///< decoded view, index = address
+};
+
+/// Assembles `source`; throws wp::ContractViolation with a line-numbered
+/// message on any syntax error.
+AssemblyResult assemble(const std::string& source);
+
+}  // namespace wp::proc

@@ -1,0 +1,124 @@
+// Payload formats of the ten inter-block connections of the case study
+// (paper Fig. 1). Each bundle packs into one 64-bit token word; "bubble"
+// encodings mark slots where no work travels (the golden machine drives
+// every wire every cycle).
+#pragma once
+
+#include "core/token.hpp"
+#include "proc/isa.hpp"
+
+namespace wp::proc {
+
+/// CU → IC: instruction fetch request.
+struct FetchReq {
+  bool fetch = false;       ///< false: bubble slot, IC returns a bubble
+  std::uint32_t addr = 0;
+
+  Word pack() const {
+    return (fetch ? 1ULL : 0ULL) | (Word{addr} << 1);
+  }
+  static FetchReq unpack(Word w) {
+    return {(w & 1) != 0, static_cast<std::uint32_t>(w >> 1)};
+  }
+};
+
+/// IC → CU: fetched instruction (or bubble).
+struct FetchResp {
+  bool valid = false;
+  Word instr_word = 0;  ///< encode()d instruction, fits in 50 bits
+
+  Word pack() const {
+    return (valid ? 1ULL : 0ULL) | (instr_word << 1);
+  }
+  static FetchResp unpack(Word w) {
+    return {(w & 1) != 0, w >> 1};
+  }
+};
+
+/// Writeback kinds the register file schedules.
+enum class WbKind : std::uint8_t { kNone = 0, kAlu = 1, kLoad = 2 };
+
+/// CU → RF: register-stage control for one instruction slot.
+struct RfCtl {
+  bool bubble = true;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  WbKind wb_kind = WbKind::kNone;
+  std::uint8_t wb_reg = 0;
+  bool store = false;  ///< stage rs2's value toward the data cache
+
+  Word pack() const {
+    return (bubble ? 1ULL : 0ULL) | (Word{rs1} << 1) | (Word{rs2} << 5) |
+           (Word{static_cast<std::uint8_t>(wb_kind)} << 9) |
+           (Word{wb_reg} << 11) | (store ? 1ULL << 15 : 0ULL);
+  }
+  static RfCtl unpack(Word w) {
+    RfCtl c;
+    c.bubble = (w & 1) != 0;
+    c.rs1 = static_cast<std::uint8_t>((w >> 1) & 0xF);
+    c.rs2 = static_cast<std::uint8_t>((w >> 5) & 0xF);
+    c.wb_kind = static_cast<WbKind>((w >> 9) & 0x3);
+    c.wb_reg = static_cast<std::uint8_t>((w >> 11) & 0xF);
+    c.store = ((w >> 15) & 1) != 0;
+    return c;
+  }
+};
+
+/// CU → ALU: execute-stage control.
+struct AluCtl {
+  bool bubble = true;
+  Opcode op = Opcode::kNop;
+  bool use_imm = false;   ///< second operand comes from `imm`, not the RF
+  std::int32_t imm = 0;
+
+  Word pack() const {
+    return (bubble ? 1ULL : 0ULL) |
+           (Word{static_cast<std::uint8_t>(op)} << 1) |
+           (use_imm ? 1ULL << 7 : 0ULL) |
+           (Word{static_cast<std::uint32_t>(imm)} << 8);
+  }
+  static AluCtl unpack(Word w) {
+    AluCtl c;
+    c.bubble = (w & 1) != 0;
+    c.op = static_cast<Opcode>((w >> 1) & 0x3F);
+    c.use_imm = ((w >> 7) & 1) != 0;
+    c.imm = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>((w >> 8) & 0xFFFFFFFFULL));
+    return c;
+  }
+
+  /// True when the instruction reads register operands from the RF.
+  bool needs_operands() const {
+    return !bubble && (reads_rs1(op) || reads_rs2(op));
+  }
+};
+
+/// CU → DC: memory-stage control.
+enum class MemKind : std::uint8_t { kNone = 0, kLoad = 1, kStore = 2 };
+
+struct DcCtl {
+  bool bubble = true;
+  MemKind kind = MemKind::kNone;
+
+  Word pack() const {
+    return (bubble ? 1ULL : 0ULL) |
+           (Word{static_cast<std::uint8_t>(kind)} << 1);
+  }
+  static DcCtl unpack(Word w) {
+    return {(w & 1) != 0, static_cast<MemKind>((w >> 1) & 0x3)};
+  }
+};
+
+/// RF → ALU: the two register operands, packed.
+struct Operands {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+
+  Word pack() const { return Word{a} | (Word{b} << 32); }
+  static Operands unpack(Word w) {
+    return {static_cast<std::uint32_t>(w & 0xFFFFFFFFULL),
+            static_cast<std::uint32_t>(w >> 32)};
+  }
+};
+
+}  // namespace wp::proc

@@ -1,0 +1,75 @@
+#include "proc/cpu.hpp"
+
+#include "proc/assembler.hpp"
+#include "proc/blocks.hpp"
+
+namespace wp::proc {
+
+const std::vector<std::string>& cpu_connections() {
+  static const std::vector<std::string> names = {
+      "CU-RF", "CU-AL", "CU-DC", "CU-IC", "RF-ALU",
+      "RF-DC", "ALU-CU", "ALU-RF", "ALU-DC", "DC-RF"};
+  return names;
+}
+
+wp::SystemSpec make_cpu_system(const ProgramSpec& program,
+                               const CpuConfig& config) {
+  const AssemblyResult assembly = assemble(program.source);
+
+  wp::SystemSpec spec;
+  spec.add_process("CU", [config]() {
+    ControlUnit::Config cu;
+    cu.serialize_fetch = config.multicycle;
+    cu.fetch_window = config.fetch_window;
+    cu.drain_firings = config.drain_firings;
+    cu.relax_squashed_fetches = config.relax_squashed_fetches;
+    return std::make_unique<ControlUnit>(cu);
+  });
+  spec.add_process("IC", [rom = assembly.rom]() {
+    return std::make_unique<IcacheBlock>(rom);
+  });
+  spec.add_process("DC", [ram = program.ram]() {
+    return std::make_unique<DcacheBlock>(ram);
+  });
+  spec.add_process("RF", []() { return std::make_unique<RegFileBlock>(); });
+  spec.add_process("ALU", []() { return std::make_unique<AluBlock>(); });
+
+  // The ten physical links of Fig. 1 / Table 1. The CU-IC bundle carries
+  // both the fetch address and the returned instruction, so one relay
+  // station on "CU-IC" segments both wires.
+  spec.add_channel("CU", "iaddr", "IC", "addr", "CU-IC");
+  spec.add_channel("IC", "instr", "CU", "instr", "CU-IC");
+  spec.add_channel("CU", "rf_ctl", "RF", "ctl", "CU-RF");
+  spec.add_channel("CU", "alu_op", "ALU", "op", "CU-AL");
+  spec.add_channel("CU", "dc_ctl", "DC", "ctl", "CU-DC");
+  spec.add_channel("RF", "operands", "ALU", "operands", "RF-ALU");
+  spec.add_channel("RF", "store", "DC", "store_data", "RF-DC");
+  spec.add_channel("ALU", "flags", "CU", "flags", "ALU-CU");
+  spec.add_channel("ALU", "result", "RF", "wb", "ALU-RF");
+  spec.add_channel("ALU", "maddr", "DC", "maddr", "ALU-DC");
+  spec.add_channel("DC", "load", "RF", "load", "DC-RF");
+  return spec;
+}
+
+wp::graph::Digraph make_cpu_graph() {
+  wp::graph::Digraph g;
+  const auto cu = g.add_node("CU");
+  const auto ic = g.add_node("IC");
+  const auto dc = g.add_node("DC");
+  const auto rf = g.add_node("RF");
+  const auto alu = g.add_node("ALU");
+  g.add_edge(cu, ic, "CU-IC");
+  g.add_edge(ic, cu, "CU-IC");
+  g.add_edge(cu, rf, "CU-RF");
+  g.add_edge(cu, alu, "CU-AL");
+  g.add_edge(cu, dc, "CU-DC");
+  g.add_edge(rf, alu, "RF-ALU");
+  g.add_edge(rf, dc, "RF-DC");
+  g.add_edge(alu, cu, "ALU-CU");
+  g.add_edge(alu, rf, "ALU-RF");
+  g.add_edge(alu, dc, "ALU-DC");
+  g.add_edge(dc, rf, "DC-RF");
+  return g;
+}
+
+}  // namespace wp::proc

@@ -1,0 +1,36 @@
+// Assembles the case-study processor (paper Fig. 1) as a SystemSpec with the
+// ten named connections of Table 1, and as a Digraph for static analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "graph/digraph.hpp"
+#include "proc/programs.hpp"
+
+namespace wp::proc {
+
+struct CpuConfig {
+  bool multicycle = false;  ///< §2: "multicycle and pipelined" fashions
+  int fetch_window = 4;
+  int drain_firings = 8;
+  /// Extension (ablation): let the WP2 oracle skip wrong-path instruction
+  /// tokens the CU squashed itself. Off in the paper's configuration.
+  bool relax_squashed_fetches = false;
+};
+
+/// Table-1 connection names, in the paper's row order.
+const std::vector<std::string>& cpu_connections();
+
+/// Builds the five-block system running `program`. Relay-station counts are
+/// set afterwards with SystemSpec::set_rs_map / set_connection_rs using the
+/// cpu_connections() names ("CU-IC" covers both directions of the bundle).
+wp::SystemSpec make_cpu_system(const ProgramSpec& program,
+                               const CpuConfig& config = {});
+
+/// The Fig. 1 topology as a digraph; edge labels are connection names and
+/// relay-station counts start at zero.
+wp::graph::Digraph make_cpu_graph();
+
+}  // namespace wp::proc

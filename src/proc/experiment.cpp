@@ -1,0 +1,168 @@
+#include "proc/experiment.hpp"
+
+#include "graph/cycle_ratio.hpp"
+#include "graph/optimize.hpp"
+#include "proc/blocks.hpp"
+#include "util/assert.hpp"
+
+namespace wp::proc {
+
+namespace {
+
+const DcacheBlock& dcache_of(const wp::Process& p) {
+  const auto* dc = dynamic_cast<const DcacheBlock*>(&p);
+  WP_CHECK(dc != nullptr, "DC process is not a DcacheBlock");
+  return *dc;
+}
+
+/// Applies a per-connection RS map to the static graph.
+wp::graph::Digraph graph_with_rs(const std::map<std::string, int>& rs) {
+  wp::graph::Digraph g = make_cpu_graph();
+  for (wp::graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto it = rs.find(g.edge(e).label);
+    if (it != rs.end()) g.edge(e).relay_stations = it->second;
+  }
+  return g;
+}
+
+}  // namespace
+
+ExperimentRow run_experiment(const ProgramSpec& program,
+                             const CpuConfig& cpu, const RsConfig& config,
+                             const ExperimentOptions& options) {
+  ExperimentRow row;
+  row.label = config.label;
+
+  auto note = [&row](const std::string& msg) {
+    if (row.detail.empty()) row.detail = msg;
+  };
+
+  // --- golden reference -----------------------------------------------
+  wp::SystemSpec spec = make_cpu_system(program, cpu);
+  wp::GoldenSim golden(spec, options.check_equivalence);
+  row.golden_cycles = golden.run_until_halt(options.max_cycles);
+  WP_CHECK(golden.halted(), "golden run did not halt — raise max_cycles");
+  if (options.verify_result) {
+    std::string error;
+    if (!program.verify(dcache_of(golden.process("DC")).memory(), &error)) {
+      row.result_ok = false;
+      note("golden result check failed: " + error);
+    }
+  }
+
+  // --- the two wire-pipelined systems ----------------------------------
+  spec.set_rs_map(config.rs);
+
+  for (const bool oracle : {false, true}) {
+    wp::ShellOptions shell;
+    shell.use_oracle = oracle;
+    shell.fifo_capacity = options.fifo_capacity;
+    wp::LidSystem lid =
+        build_lid(spec, shell, options.check_equivalence);
+    const std::uint64_t cycles = lid.run_until_halt(options.max_cycles);
+    const auto* cu = lid.shells.at("CU");
+    if (!cu->halted()) {
+      note(std::string(oracle ? "WP2" : "WP1") +
+           " run did not halt within max_cycles");
+    }
+    if (options.check_equivalence) {
+      const auto eq = check_equivalence(golden.trace(), lid.trace);
+      if (!eq.equivalent) {
+        if (oracle)
+          row.wp2_equivalent = false;
+        else
+          row.wp1_equivalent = false;
+        note(std::string(oracle ? "WP2" : "WP1") +
+             " not equivalent to golden: " + eq.detail);
+      }
+    }
+    if (options.verify_result) {
+      std::string error;
+      if (!program.verify(dcache_of(lid.shells.at("DC")->process()).memory(),
+                          &error)) {
+        row.result_ok = false;
+        note(std::string(oracle ? "WP2" : "WP1") +
+             " result check failed: " + error);
+      }
+    }
+    if (oracle)
+      row.wp2_cycles = cycles;
+    else
+      row.wp1_cycles = cycles;
+  }
+
+  row.th_wp1 = static_cast<double>(row.golden_cycles) /
+               static_cast<double>(row.wp1_cycles);
+  row.th_wp2 = static_cast<double>(row.golden_cycles) /
+               static_cast<double>(row.wp2_cycles);
+  row.improvement = (row.th_wp2 - row.th_wp1) / row.th_wp1;
+  row.static_wp1 =
+      wp::graph::min_cycle_ratio_lawler(graph_with_rs(config.rs)).ratio;
+  return row;
+}
+
+double simulate_wp2_throughput(const ProgramSpec& program,
+                               const CpuConfig& cpu,
+                               const std::map<std::string, int>& rs,
+                               std::size_t fifo_capacity) {
+  wp::SystemSpec spec = make_cpu_system(program, cpu);
+  wp::GoldenSim golden(spec, false);
+  const std::uint64_t golden_cycles = golden.run_until_halt(2000000);
+  spec.set_rs_map(rs);
+  wp::ShellOptions shell;
+  shell.use_oracle = true;
+  shell.fifo_capacity = fifo_capacity;
+  wp::LidSystem lid = build_lid(spec, shell, false);
+  const std::uint64_t cycles = lid.run_until_halt(2000000, /*grace=*/0);
+  return static_cast<double>(golden_cycles) / static_cast<double>(cycles);
+}
+
+std::vector<RsConfig> table1_sort_configs() {
+  std::vector<RsConfig> configs;
+  configs.push_back({"All 0 (ideal)", {}});
+  for (const auto& name : cpu_connections())
+    configs.push_back({"Only " + name, {{name, 1}}});
+  RsConfig all1{"All 1 (no CU-IC)", {}};
+  for (const auto& name : cpu_connections())
+    if (name != "CU-IC") all1.rs[name] = 1;
+  configs.push_back(std::move(all1));
+  return configs;
+}
+
+std::vector<RsConfig> table1_matmul_configs() {
+  std::vector<RsConfig> configs = table1_sort_configs();
+  // "All 1 and 2 <X>": every connection (except CU-IC) at 1, X raised to 2.
+  for (const auto& name : cpu_connections()) {
+    RsConfig cfg{"All 1 and 2 " + name, {}};
+    for (const auto& other : cpu_connections())
+      if (other != "CU-IC") cfg.rs[other] = 1;
+    cfg.rs[name] = 2;  // CU-IC row: 2 on CU-IC plus 1 everywhere else
+    configs.push_back(std::move(cfg));
+  }
+  RsConfig all2{"All 2 (no CU-IC)", {}};
+  for (const auto& name : cpu_connections())
+    if (name != "CU-IC") all2.rs[name] = 2;
+  configs.push_back(all2);
+  RsConfig all2and1{"All 2 and 1 CU-RF", all2.rs};
+  all2and1.rs["CU-RF"] = 1;
+  configs.push_back(std::move(all2and1));
+  return configs;
+}
+
+RsConfig optimal_config(const std::string& label, const ProgramSpec& program,
+                        const CpuConfig& cpu,
+                        const std::map<std::string, int>& demand,
+                        const std::map<std::string, int>& relieved,
+                        int budget) {
+  wp::graph::RsOptimizeProblem problem;
+  problem.demand = demand;
+  problem.relieved = relieved;
+  problem.max_relieved = budget;
+  const auto result = wp::graph::optimize_rs_exhaustive(
+      problem, [&](const wp::graph::RsAssignment& assignment) {
+        return simulate_wp2_throughput(program, cpu, assignment);
+      });
+  return {label, result.assignment};
+}
+
+}  // namespace wp::proc

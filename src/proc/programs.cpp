@@ -1,0 +1,192 @@
+#include "proc/programs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace wp::proc {
+
+ProgramSpec extraction_sort_program(std::size_t n, std::uint64_t seed) {
+  WP_REQUIRE(n >= 2, "sort needs at least two keys");
+  ProgramSpec spec;
+  spec.name = "extraction_sort[" + std::to_string(n) + "]";
+
+  // Register plan: r1=i, r2=j, r3=min index, r4=N, r5/r6=values, r9=N-1.
+  // r0 stays 0 (never written).
+  spec.source = format(R"(
+        li   r4, %zu
+        li   r1, 0
+outer:  addi r9, r4, -1
+        cmp  r1, r9
+        bge  end
+        add  r3, r1, r0        ; min = i
+        addi r2, r1, 1         ; j = i+1
+inner:  cmp  r2, r4
+        bge  swap
+        ld   r5, 0(r2)         ; a[j]
+        ld   r6, 0(r3)         ; a[min]
+        cmp  r5, r6
+        bge  skip
+        add  r3, r2, r0        ; min = j
+skip:   addi r2, r2, 1
+        jmp  inner
+swap:   ld   r5, 0(r1)
+        ld   r6, 0(r3)
+        st   r6, 0(r1)
+        st   r5, 0(r3)
+        addi r1, r1, 1
+        jmp  outer
+end:    halt
+)",
+                       n);
+
+  Rng rng(seed);
+  spec.ram.resize(std::max<std::size_t>(n, 16));
+  for (std::size_t i = 0; i < n; ++i)
+    spec.ram[i] = static_cast<std::uint32_t>(rng.below(1000));
+
+  std::vector<std::uint32_t> sorted(spec.ram.begin(),
+                                    spec.ram.begin() + static_cast<long>(n));
+  std::sort(sorted.begin(), sorted.end());
+  spec.verify = [n, sorted](const std::vector<std::uint32_t>& ram,
+                            std::string* error) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ram[i] != sorted[i]) {
+        if (error)
+          *error = format("ram[%zu] = %u, expected %u", i, ram[i], sorted[i]);
+        return false;
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+ProgramSpec matmul_program(std::size_t dim, std::uint64_t seed) {
+  WP_REQUIRE(dim >= 1, "matrix dimension must be >= 1");
+  ProgramSpec spec;
+  spec.name = "matmul[" + std::to_string(dim) + "x" + std::to_string(dim) +
+              "]";
+  const std::size_t sq = dim * dim;
+
+  // A at 0, B at sq, C at 2*sq. Registers: r1=i, r2=j, r3=k, r4=dim,
+  // r5=accumulator, r6/r7=elements, r8/r9=addresses, r10=product.
+  spec.source = format(R"(
+        li   r4, %zu
+        li   r1, 0
+loopi:  cmp  r1, r4
+        bge  end
+        li   r2, 0
+loopj:  cmp  r2, r4
+        bge  nexti
+        li   r5, 0
+        li   r3, 0
+loopk:  cmp  r3, r4
+        bge  storec
+        mul  r8, r1, r4        ; &A[i][k]
+        add  r8, r8, r3
+        ld   r6, 0(r8)
+        mul  r9, r3, r4        ; &B[k][j]
+        add  r9, r9, r2
+        ld   r7, %zu(r9)
+        mul  r10, r6, r7
+        add  r5, r5, r10
+        addi r3, r3, 1
+        jmp  loopk
+storec: mul  r8, r1, r4        ; &C[i][j]
+        add  r8, r8, r2
+        st   r5, %zu(r8)
+        addi r2, r2, 1
+        jmp  loopj
+nexti:  addi r1, r1, 1
+        jmp  loopi
+end:    halt
+)",
+                       dim, sq, 2 * sq);
+
+  Rng rng(seed);
+  spec.ram.resize(3 * sq);
+  for (std::size_t i = 0; i < 2 * sq; ++i)
+    spec.ram[i] = static_cast<std::uint32_t>(rng.below(16));
+
+  std::vector<std::uint32_t> expected(sq, 0);
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j < dim; ++j) {
+      std::uint32_t acc = 0;
+      for (std::size_t k = 0; k < dim; ++k)
+        acc += spec.ram[i * dim + k] * spec.ram[sq + k * dim + j];
+      expected[i * dim + j] = acc;
+    }
+
+  spec.verify = [sq, expected](const std::vector<std::uint32_t>& ram,
+                               std::string* error) {
+    for (std::size_t i = 0; i < sq; ++i) {
+      if (ram[2 * sq + i] != expected[i]) {
+        if (error)
+          *error = format("C[%zu] = %u, expected %u", i, ram[2 * sq + i],
+                          expected[i]);
+        return false;
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+ProgramSpec pointer_chase_program(std::size_t n, std::uint64_t seed) {
+  WP_REQUIRE(n >= 2, "list needs at least two nodes");
+  ProgramSpec spec;
+  spec.name = "pointer_chase[" + std::to_string(n) + "]";
+
+  // Node i occupies words [2i, 2i+1]: (value, next node's word offset).
+  // The chain visits the nodes in a shuffled order; the terminal node's
+  // next field holds the sentinel. The sum lands at the last RAM word.
+  Rng rng(seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+
+  const std::size_t result_addr = 2 * n;
+  const std::uint32_t sentinel = 60000;
+  spec.ram.assign(2 * n + 1, 0);
+  std::uint32_t sum = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t node = order[k];
+    const auto value = static_cast<std::uint32_t>(rng.below(500));
+    spec.ram[2 * node] = value;
+    spec.ram[2 * node + 1] =
+        k + 1 < n ? static_cast<std::uint32_t>(2 * order[k + 1]) : sentinel;
+    sum += value;
+  }
+
+  spec.source = format(R"(
+        li   r1, %zu           ; current node offset (head)
+        li   r2, 0             ; running sum
+        li   r3, %u            ; sentinel
+loop:   ld   r4, 0(r1)         ; node value
+        ld   r5, 1(r1)         ; next offset
+        add  r2, r2, r4
+        cmp  r5, r3
+        beq  done
+        add  r1, r5, r0        ; chase the pointer
+        jmp  loop
+done:   st   r2, %zu(r0)
+        halt
+)",
+                       2 * order.front(), sentinel, result_addr);
+
+  spec.verify = [result_addr, sum](const std::vector<std::uint32_t>& ram,
+                                   std::string* error) {
+    if (ram[result_addr] != sum) {
+      if (error)
+        *error = format("sum = %u, expected %u", ram[result_addr], sum);
+      return false;
+    }
+    return true;
+  };
+  return spec;
+}
+
+}  // namespace wp::proc

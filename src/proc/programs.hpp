@@ -1,0 +1,38 @@
+// The paper's two benchmark programs (§2): "a strictly data dependent
+// problem, extraction sort, and a matrix multiplication" — parameterized
+// generators producing assembly plus initial data memory and a result
+// checker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wp::proc {
+
+struct ProgramSpec {
+  std::string name;
+  std::string source;                   ///< assembly text
+  std::vector<std::uint32_t> ram;       ///< initial data memory image
+  /// Validates the final data memory; fills *error on failure.
+  std::function<bool(const std::vector<std::uint32_t>& ram,
+                     std::string* error)>
+      verify;
+};
+
+/// Extraction (selection) sort of `n` pseudo-random keys at RAM[0..n).
+ProgramSpec extraction_sort_program(std::size_t n = 16,
+                                    std::uint64_t seed = 1);
+
+/// dim×dim matrix multiply: A at 0, B at dim², C at 2·dim² (row-major).
+ProgramSpec matmul_program(std::size_t dim = 4, std::uint64_t seed = 2);
+
+/// Pointer chase: sums the values of an `n`-node linked list whose nodes
+/// (value, next-index pairs) are shuffled through memory. Every iteration
+/// serializes on a load — the stress case for the DC→RF path and the
+/// opposite workload class from the regular matmul.
+ProgramSpec pointer_chase_program(std::size_t n = 32,
+                                  std::uint64_t seed = 3);
+
+}  // namespace wp::proc

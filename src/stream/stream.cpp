@@ -1,0 +1,241 @@
+#include "stream/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/procs.hpp"
+#include "util/assert.hpp"
+
+namespace wp::stream {
+
+namespace {
+
+constexpr std::size_t kGainInSample = 0;
+constexpr std::size_t kGainInGain = 1;
+constexpr Word kFreshBit = Word{1} << 63;
+
+std::int32_t as_signed(Word w) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(w));
+}
+
+Word as_word(std::int64_t v) {
+  return static_cast<Word>(static_cast<std::uint32_t>(
+      static_cast<std::int32_t>(std::clamp<std::int64_t>(
+          v, std::numeric_limits<std::int32_t>::min(),
+          std::numeric_limits<std::int32_t>::max()))));
+}
+
+}  // namespace
+
+Word fix_from_double(double x) {
+  return as_word(static_cast<std::int64_t>(
+      std::lround(x * static_cast<double>(kFixOne))));
+}
+
+double fix_to_double(Word w) {
+  return static_cast<double>(as_signed(w)) /
+         static_cast<double>(kFixOne);
+}
+
+Word fix_mul(Word a, Word b) {
+  const std::int64_t product =
+      static_cast<std::int64_t>(as_signed(a)) *
+      static_cast<std::int64_t>(as_signed(b));
+  return as_word(product >> 16);
+}
+
+// ---------------------------------------------------------------------------
+
+SampleSource::SampleSource(std::string name, std::uint64_t seed,
+                           std::uint64_t limit)
+    : Process(std::move(name)), seed_(seed), limit_(limit) {
+  add_output("out", 0);
+}
+
+void SampleSource::fire(const Word* /*in*/, Word* out) {
+  // Two square waves under a slow envelope, plus bounded PRNG dither: a
+  // deterministic signal with varying magnitude for the AGC to track.
+  const std::int64_t envelope =
+      ((t_ / 256) % 2 == 0) ? (kFixOne * 4 / 5) : (kFixOne * 3 / 10);
+  std::int64_t s = 0;
+  s += ((t_ / 7) % 2 == 0 ? 1 : -1) * (kFixOne * 3 / 10);
+  s += ((t_ / 31) % 2 == 0 ? 1 : -1) * (kFixOne / 5);
+  const std::int64_t dither =
+      static_cast<std::int64_t>(hash_mix(t_ ^ seed_) % 2048) - 1024;
+  s = ((s + dither) * envelope) >> 16;
+  out[0] = as_word(s);
+  ++t_;
+}
+
+void SampleSource::reset() { t_ = 0; }
+
+bool SampleSource::halted() const { return limit_ != 0 && t_ >= limit_; }
+
+// ---------------------------------------------------------------------------
+
+FirFilter::FirFilter(std::string name, std::vector<Word> coefficients)
+    : Process(std::move(name)), coefficients_(std::move(coefficients)) {
+  WP_REQUIRE(!coefficients_.empty(), "FIR needs at least one tap");
+  add_input("in", 0);
+  add_output("out", 0);
+  delay_line_.assign(coefficients_.size(), 0);
+}
+
+void FirFilter::fire(const Word* in, Word* out) {
+  // Shift the delay line and convolve.
+  for (std::size_t k = delay_line_.size(); k-- > 1;)
+    delay_line_[k] = delay_line_[k - 1];
+  delay_line_[0] = in[0];
+  std::int64_t acc = 0;
+  for (std::size_t k = 0; k < coefficients_.size(); ++k)
+    acc += static_cast<std::int64_t>(
+        as_signed(fix_mul(delay_line_[k], coefficients_[k])));
+  out[0] = as_word(acc);
+}
+
+void FirFilter::reset() {
+  delay_line_.assign(coefficients_.size(), 0);
+}
+
+// ---------------------------------------------------------------------------
+
+GainStage::GainStage(std::string name, std::uint64_t period)
+    : Process(std::move(name)), period_(period) {
+  WP_REQUIRE(period_ >= 1, "gain period must be >= 1");
+  add_input("sample", 0);
+  add_input("gain", static_cast<Word>(kFixOne));
+  add_output("out", 0);
+}
+
+InputMask GainStage::required(const PeekView& /*peek*/) const {
+  return reads_gain() ? 0b11u : 0b01u;
+}
+
+void GainStage::fire(const Word* in, Word* out) {
+  if (reads_gain()) {
+    const Word token = in[kGainInGain];
+    WP_CHECK(AgcControl::fresh(token),
+             "gain cadence mismatch between AGC and gain stage");
+    gain_ = token & ~kFreshBit;
+  }
+  out[0] = fix_mul(in[kGainInSample], gain_);
+  ++firing_;
+}
+
+void GainStage::reset() {
+  firing_ = 0;
+  gain_ = static_cast<Word>(kFixOne);
+}
+
+// ---------------------------------------------------------------------------
+
+Quantizer::Quantizer(std::string name) : Process(std::move(name)) {
+  add_input("in", 0);
+  add_output("out", 0);
+  add_output("mag", 0);
+}
+
+void Quantizer::fire(const Word* in, Word* out) {
+  const std::int32_t sample = as_signed(in[0]);
+  // Clamp to a signed 12.16 range (the "ADC" headroom).
+  constexpr std::int32_t kLimit = 2048 * kFixOne;
+  const std::int32_t clamped = std::clamp(sample, -kLimit, kLimit);
+  out[0] = as_word(clamped);
+  out[1] = as_word(clamped < 0 ? -static_cast<std::int64_t>(clamped)
+                               : clamped);
+}
+
+// ---------------------------------------------------------------------------
+
+AgcControl::AgcControl(std::string name, std::uint64_t period, double target)
+    : Process(std::move(name)),
+      period_(period),
+      target_(fix_from_double(target)) {
+  WP_REQUIRE(period_ >= 1, "AGC period must be >= 1");
+  WP_REQUIRE(target > 0, "AGC target must be positive");
+  add_input("mag", 0);
+  add_output("gain", static_cast<Word>(kFixOne));
+}
+
+void AgcControl::fire(const Word* in, Word* out) {
+  accumulator_ += in[0] & 0xFFFFFFFFULL;
+  ++phase_;
+  if (phase_ == period_) {
+    const std::uint64_t average = accumulator_ / period_;
+    std::int64_t updated;
+    if (average == 0) {
+      updated = as_signed(gain_) * 2;
+    } else {
+      updated = static_cast<std::int64_t>(as_signed(gain_)) *
+                static_cast<std::int64_t>(as_signed(target_)) /
+                static_cast<std::int64_t>(average);
+    }
+    updated = std::clamp<std::int64_t>(updated, kFixOne / 16, kFixOne * 16);
+    gain_ = static_cast<Word>(static_cast<std::uint32_t>(updated));
+    accumulator_ = 0;
+    phase_ = 0;
+    out[0] = gain_ | kFreshBit;
+  } else {
+    out[0] = gain_;  // stale token: the gain stage is blind to it
+  }
+}
+
+void AgcControl::reset() {
+  phase_ = 0;
+  accumulator_ = 0;
+  gain_ = static_cast<Word>(kFixOne);
+}
+
+// ---------------------------------------------------------------------------
+
+StreamSink::StreamSink(std::string name, std::uint64_t limit)
+    : Process(std::move(name)), limit_(limit) {
+  add_input("in", 0);
+}
+
+void StreamSink::fire(const Word* in, Word* /*out*/) {
+  samples_.push_back(in[0]);
+}
+
+void StreamSink::reset() { samples_.clear(); }
+
+bool StreamSink::halted() const {
+  return limit_ != 0 && samples_.size() >= limit_;
+}
+
+// ---------------------------------------------------------------------------
+
+wp::SystemSpec make_stream_system(const StreamConfig& config) {
+  std::vector<Word> taps;
+  taps.reserve(config.fir.size());
+  for (double c : config.fir) taps.push_back(fix_from_double(c));
+
+  wp::SystemSpec spec;
+  spec.add_process("SRC", [config]() {
+    return std::make_unique<SampleSource>("SRC", config.seed, 0);
+  });
+  spec.add_process("FIR", [taps]() {
+    return std::make_unique<FirFilter>("FIR", taps);
+  });
+  spec.add_process("GAIN", [config]() {
+    return std::make_unique<GainStage>("GAIN", config.agc_period);
+  });
+  spec.add_process("QNT", []() { return std::make_unique<Quantizer>("QNT"); });
+  spec.add_process("AGC", [config]() {
+    return std::make_unique<AgcControl>("AGC", config.agc_period,
+                                        config.agc_target);
+  });
+  spec.add_process("SNK", [config]() {
+    return std::make_unique<StreamSink>("SNK", config.samples);
+  });
+
+  spec.add_channel("SRC", "out", "FIR", "in", "SRC-FIR");
+  spec.add_channel("FIR", "out", "GAIN", "sample", "FIR-GAIN");
+  spec.add_channel("GAIN", "out", "QNT", "in", "GAIN-QNT");
+  spec.add_channel("QNT", "out", "SNK", "in", "QNT-SNK");
+  spec.add_channel("QNT", "mag", "AGC", "mag", "QNT-AGC");
+  spec.add_channel("AGC", "gain", "GAIN", "gain", "AGC-GAIN");
+  return spec;
+}
+
+}  // namespace wp::stream

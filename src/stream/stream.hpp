@@ -1,0 +1,135 @@
+// Second case study: a DSP stream pipeline with an automatic-gain-control
+// (AGC) feedback loop.
+//
+//   SRC ──► FIR ──► GAIN ──► QNT ──► SNK
+//                    ▲                │
+//                    └──── AGC ◄──────┘   (gain update every K samples)
+//
+// The forward path is fully pipelined (every stage fires every cycle); the
+// feedback connection QNT→AGC→GAIN is *excited* only once every K samples —
+// exactly the communication profile where the paper's WP2 wrapper recovers
+// the throughput a strict WP1 wrapper loses when the feedback wire needs
+// relay stations. Samples are 16.16 fixed-point in the low 32 bits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/process.hpp"
+#include "core/system.hpp"
+
+namespace wp::stream {
+
+/// 16.16 fixed point helpers.
+inline constexpr std::int64_t kFixOne = 1 << 16;
+Word fix_from_double(double x);
+double fix_to_double(Word w);
+Word fix_mul(Word a, Word b);
+
+/// Deterministic sample source: a sum of two integer-period square waves
+/// plus a PRNG dither, so the stream has slowly varying envelope for the
+/// AGC to chase. Halts after `limit` samples when limit > 0.
+class SampleSource final : public Process {
+ public:
+  SampleSource(std::string name, std::uint64_t seed, std::uint64_t limit);
+  void fire(const Word* in, Word* out) override;
+  void reset() override;
+  bool halted() const override;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t limit_;
+  std::uint64_t t_ = 0;
+};
+
+/// Transposed-form FIR filter with fixed coefficients.
+class FirFilter final : public Process {
+ public:
+  FirFilter(std::string name, std::vector<Word> coefficients);
+  void fire(const Word* in, Word* out) override;
+  void reset() override;
+
+ private:
+  std::vector<Word> coefficients_;
+  std::vector<Word> delay_line_;
+};
+
+/// Multiplies the sample stream by the most recent gain. The AGC updates
+/// the gain once every `period` samples (a cadence both sides know, as the
+/// paper's "processing signal derived from the process operation"), so the
+/// oracle requires the gain input only on those firings; the AGC marks
+/// fresh tokens with bit 63 and the stage cross-checks the cadence.
+class GainStage final : public Process {
+ public:
+  GainStage(std::string name, std::uint64_t period);
+  InputMask required(const PeekView& peek) const override;
+  void fire(const Word* in, Word* out) override;
+  void reset() override;
+
+ private:
+  bool reads_gain() const { return firing_ > 0 && firing_ % period_ == 0; }
+
+  std::uint64_t period_;
+  std::uint64_t firing_ = 0;
+  Word gain_ = static_cast<Word>(kFixOne);
+};
+
+/// Quantizer: clamps to a signed 12-bit range and re-expands; also forwards
+/// the pre-clamp magnitude to the AGC.
+class Quantizer final : public Process {
+ public:
+  explicit Quantizer(std::string name);
+  void fire(const Word* in, Word* out) override;
+  void reset() override {}
+};
+
+/// AGC: accumulates magnitudes and, every `period` samples, emits a fresh
+/// gain (bit 63 set) steering the average magnitude toward `target`; in
+/// between it emits stale gain tokens the GainStage is blind to.
+class AgcControl final : public Process {
+ public:
+  AgcControl(std::string name, std::uint64_t period, double target);
+  void fire(const Word* in, Word* out) override;
+  void reset() override;
+
+  /// Tag of the token that carries a fresh gain: every period-th firing.
+  static bool fresh(Word token) { return (token >> 63) & 1; }
+  std::uint64_t period() const { return period_; }
+
+ private:
+  std::uint64_t period_;
+  Word target_;
+  std::uint64_t phase_ = 0;
+  Word accumulator_ = 0;
+  Word gain_ = static_cast<Word>(kFixOne);
+};
+
+/// Collects the output stream; halts after `limit` samples when limit > 0.
+class StreamSink final : public Process {
+ public:
+  StreamSink(std::string name, std::uint64_t limit);
+  void fire(const Word* in, Word* out) override;
+  void reset() override;
+  bool halted() const override;
+
+  const std::vector<Word>& samples() const { return samples_; }
+
+ private:
+  std::uint64_t limit_;
+  std::vector<Word> samples_;
+};
+
+struct StreamConfig {
+  std::uint64_t samples = 4000;     ///< sink halt limit
+  std::uint64_t agc_period = 16;    ///< gain updates every K samples
+  double agc_target = 0.25;
+  std::uint64_t seed = 7;
+  std::vector<double> fir = {0.25, 0.5, 0.25};
+};
+
+/// Builds the five-stage pipeline; connections are named SRC-FIR, FIR-GAIN,
+/// GAIN-QNT, QNT-SNK, QNT-AGC and AGC-GAIN (the feedback link).
+wp::SystemSpec make_stream_system(const StreamConfig& config);
+
+}  // namespace wp::stream

@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace wp {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+}
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace wp

@@ -1,0 +1,47 @@
+// Leveled logging with a process-global threshold. Benches default to kInfo,
+// tests to kWarn; simulation internals log at kDebug/kTrace.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wp {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets/gets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logger: WP_LOG(kInfo) << "cycles=" << n;
+/// The message is emitted (with level prefix) when the statement ends.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace wp
+
+#define WP_LOG(level)                                      \
+  if (::wp::LogLevel::level < ::wp::log_level()) {         \
+  } else                                                   \
+    ::wp::LogLine(::wp::LogLevel::level)

@@ -1,0 +1,37 @@
+// Streaming statistics (Welford) and small helpers used by benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wp {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a copy of the data (nearest-rank). p in [0,100].
+double percentile(std::vector<double> data, double p);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(const std::vector<double>& data);
+
+}  // namespace wp

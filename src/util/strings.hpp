@@ -1,0 +1,36 @@
+// Small string utilities shared by the assembler, parsers and report code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wp {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; no empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses a signed integer; throws wp::ContractViolation on garbage.
+long long parse_int(std::string_view s);
+
+/// Parses a double; throws wp::ContractViolation on garbage.
+double parse_double(std::string_view s);
+
+}  // namespace wp

@@ -1,0 +1,235 @@
+// Floorplanning tests: sequence-pair packing semantics, overlap-freedom as
+// a property over random instances, wirelength, the wire-delay → relay-
+// station model, the parser, and the annealer's improvement guarantees.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+#include "floorplan/annealer.hpp"
+#include "floorplan/instances.hpp"
+#include "floorplan/model.hpp"
+#include "floorplan/sequence_pair.hpp"
+#include "graph/cycle_ratio.hpp"
+#include "proc/cpu.hpp"
+
+namespace wp::fplan {
+namespace {
+
+Instance two_blocks() {
+  Instance inst;
+  inst.name = "two";
+  inst.blocks = {{"a", 2, 1}, {"b", 3, 2}};
+  inst.nets = {{"ab", 0, 1}};
+  return inst;
+}
+
+bool overlaps(const Instance& inst, const Placement& p, std::size_t i,
+              std::size_t j) {
+  const double eps = 1e-9;
+  return p.x[i] + inst.blocks[i].width > p.x[j] + eps &&
+         p.x[j] + inst.blocks[j].width > p.x[i] + eps &&
+         p.y[i] + inst.blocks[i].height > p.y[j] + eps &&
+         p.y[j] + inst.blocks[j].height > p.y[i] + eps;
+}
+
+TEST(SequencePair, IdentityPacksInARow) {
+  const Instance inst = two_blocks();
+  const auto sp = SequencePair::identity(2);
+  const Placement p = pack(inst, sp);
+  // a before b in both sequences: a left of b.
+  EXPECT_DOUBLE_EQ(p.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.x[1], 2.0);
+  EXPECT_DOUBLE_EQ(p.y[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.y[1], 0.0);
+  EXPECT_DOUBLE_EQ(p.width, 5.0);
+  EXPECT_DOUBLE_EQ(p.height, 2.0);
+}
+
+TEST(SequencePair, ReversedPositiveStacksVertically) {
+  const Instance inst = two_blocks();
+  SequencePair sp;
+  sp.positive = {1, 0};  // b before a in Γ+, a before b in Γ-: a below b.
+  sp.negative = {0, 1};
+  const Placement p = pack(inst, sp);
+  EXPECT_DOUBLE_EQ(p.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.x[1], 0.0);
+  EXPECT_DOUBLE_EQ(p.y[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.y[1], 1.0);  // b above a
+  EXPECT_DOUBLE_EQ(p.width, 3.0);
+  EXPECT_DOUBLE_EQ(p.height, 3.0);
+}
+
+TEST(SequencePair, ValidityCheck) {
+  SequencePair sp = SequencePair::identity(3);
+  EXPECT_TRUE(sp.valid(3));
+  sp.positive[0] = 2;  // duplicate
+  EXPECT_FALSE(sp.valid(3));
+  EXPECT_THROW(pack(two_blocks(), sp), wp::ContractViolation);
+}
+
+class PackingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackingProperty, RandomSequencePairsNeverOverlap) {
+  wp::Rng rng(GetParam());
+  const Instance inst =
+      synthetic_instance(static_cast<std::size_t>(rng.range(3, 12)),
+                         GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const auto sp = SequencePair::random(inst.blocks.size(), rng);
+    const Placement p = pack(inst, sp);
+    for (std::size_t i = 0; i < inst.blocks.size(); ++i) {
+      EXPECT_GE(p.x[i], 0.0);
+      EXPECT_GE(p.y[i], 0.0);
+      EXPECT_LE(p.x[i] + inst.blocks[i].width, p.width + 1e-9);
+      EXPECT_LE(p.y[i] + inst.blocks[i].height, p.height + 1e-9);
+      for (std::size_t j = i + 1; j < inst.blocks.size(); ++j)
+        ASSERT_FALSE(overlaps(inst, p, i, j))
+            << "blocks " << i << "," << j << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PackingProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(SequencePair, MovesAreInvolutions) {
+  wp::Rng rng(5);
+  SequencePair sp = SequencePair::random(8, rng);
+  const SequencePair before = sp;
+  for (int i = 0; i < 100; ++i) {
+    const AppliedMove move = random_move(sp, rng);
+    undo_move(sp, move);
+    ASSERT_EQ(sp.positive, before.positive);
+    ASSERT_EQ(sp.negative, before.negative);
+  }
+}
+
+TEST(Model, NetLengthIsCenterToCenterManhattan) {
+  const Instance inst = two_blocks();
+  Placement p;
+  p.x = {0, 4};
+  p.y = {0, 3};
+  // centers: (1, 0.5) and (5.5, 4): |dx|+|dy| = 4.5 + 3.5 = 8.
+  EXPECT_DOUBLE_EQ(net_length(inst, p, inst.nets[0]), 8.0);
+  EXPECT_DOUBLE_EQ(total_wirelength(inst, p), 8.0);
+}
+
+TEST(Model, RelayStationsFromWireDelay) {
+  WireDelayModel model;  // 150 ps/mm, 500 ps clock -> 3.33 mm reach
+  EXPECT_EQ(relay_stations_for_length(0.0, model), 0);
+  EXPECT_EQ(relay_stations_for_length(3.0, model), 0);
+  EXPECT_EQ(relay_stations_for_length(3.4, model), 1);
+  EXPECT_EQ(relay_stations_for_length(6.8, model), 2);
+  EXPECT_EQ(relay_stations_for_length(10.1, model), 3);
+  EXPECT_NEAR(model.reachable_mm(), 10.0 / 3.0, 1e-9);
+}
+
+TEST(Model, RsDemandTakesWorstNetPerConnection) {
+  Instance inst;
+  inst.blocks = {{"a", 1, 1}, {"b", 1, 1}, {"c", 1, 1}};
+  inst.nets = {{"link", 0, 1}, {"link", 0, 2}};
+  Placement p;
+  p.x = {0, 0, 40};
+  p.y = {0, 0, 0};
+  p.width = 41;
+  p.height = 1;
+  const auto demand = rs_demand(inst, p, WireDelayModel{});
+  ASSERT_EQ(demand.size(), 1u);
+  EXPECT_EQ(demand[0].first, "link");
+  EXPECT_EQ(demand[0].second, relay_stations_for_length(40.0, {}));
+}
+
+TEST(Parser, RoundTrips) {
+  const Instance inst = cpu_instance();
+  EXPECT_EQ(inst.blocks.size(), 5u);
+  EXPECT_EQ(inst.nets.size(), 11u);  // CU-IC twice + 9 others
+  const Instance again = parse_instance(serialize_instance(inst));
+  EXPECT_EQ(again.blocks.size(), inst.blocks.size());
+  EXPECT_EQ(again.nets.size(), inst.nets.size());
+  EXPECT_EQ(again.blocks[1].name, "IC");
+  EXPECT_DOUBLE_EQ(again.blocks[1].width, 2.4);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_instance("block a 1"), wp::ContractViolation);
+  EXPECT_THROW(parse_instance("block a 1 1\nblock a 2 2"),
+               wp::ContractViolation);
+  EXPECT_THROW(parse_instance("block a 1 1\nnet n a missing"),
+               wp::ContractViolation);
+  EXPECT_THROW(parse_instance("frob"), wp::ContractViolation);
+  EXPECT_THROW(parse_instance("# only a comment"), wp::ContractViolation);
+  EXPECT_THROW(parse_instance("block a 0 1"), wp::ContractViolation);
+}
+
+TEST(Annealer, ImprovesAreaOverRandomStart) {
+  const Instance inst = synthetic_instance(12, 7);
+  wp::Rng rng(1);
+  // Mean random-packing area as the baseline.
+  double random_area = 0;
+  for (int i = 0; i < 20; ++i)
+    random_area +=
+        pack(inst, SequencePair::random(inst.blocks.size(), rng)).area();
+  random_area /= 20;
+
+  AnnealOptions options;
+  options.iterations = 4000;
+  options.weight_wirelength = 0.0;
+  const AnnealResult result = anneal(inst, options);
+  EXPECT_LT(result.area, random_area);
+  EXPECT_GT(result.accepted_moves, 0);
+  // The result must still be a legal packing.
+  for (std::size_t i = 0; i < inst.blocks.size(); ++i)
+    for (std::size_t j = i + 1; j < inst.blocks.size(); ++j)
+      ASSERT_FALSE(overlaps(inst, result.placement, i, j));
+}
+
+TEST(Annealer, ThroughputDrivenBeatsAreaDrivenOnThroughput) {
+  // The CPU instance with the system min-cycle-ratio as objective: giving
+  // throughput weight must not yield a slower system than ignoring it.
+  const Instance inst = cpu_instance();
+  auto graph = wp::proc::make_cpu_graph();
+  auto throughput_fn =
+      [graph](const std::vector<std::pair<std::string, int>>& demand) {
+        auto g = graph;
+        for (const auto& [label, rs] : demand)
+          for (wp::graph::EdgeId e = 0; e < g.num_edges(); ++e)
+            if (g.edge(e).label == label) g.edge(e).relay_stations = rs;
+        return wp::graph::min_cycle_ratio_lawler(g).ratio;
+      };
+
+  WireDelayModel tight;
+  tight.clock_ps = 250.0;  // aggressive clock: wires need pipelining
+
+  AnnealOptions area_driven;
+  area_driven.iterations = 3000;
+  area_driven.seed = 9;
+  area_driven.delay_model = tight;
+
+  AnnealOptions th_driven = area_driven;
+  th_driven.weight_throughput = 50.0;
+  th_driven.throughput_fn = throughput_fn;
+
+  const AnnealResult area_result = anneal(inst, area_driven);
+  const AnnealResult th_result = anneal(inst, th_driven);
+
+  const double area_th =
+      throughput_fn(rs_demand(inst, area_result.placement, tight));
+  EXPECT_GE(th_result.throughput + 1e-9, area_th);
+}
+
+TEST(Annealer, RejectsMissingThroughputFn) {
+  AnnealOptions options;
+  options.weight_throughput = 1.0;
+  EXPECT_THROW(anneal(two_blocks(), options), wp::ContractViolation);
+}
+
+TEST(Instances, SyntheticIsDeterministic) {
+  const Instance a = synthetic_instance(10, 3);
+  const Instance b = synthetic_instance(10, 3);
+  EXPECT_EQ(serialize_instance(a), serialize_instance(b));
+  EXPECT_EQ(a.blocks.size(), 10u);
+  EXPECT_GE(a.nets.size(), 10u);  // at least the ring
+}
+
+}  // namespace
+}  // namespace wp::fplan

@@ -1,0 +1,300 @@
+// Graph-analysis tests: digraph bookkeeping, Johnson cycle enumeration,
+// the three minimum-cycle-ratio solvers (cross-checked on random graphs),
+// Karp's minimum cycle mean, the throughput report and the RS optimizer.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+#include <cmath>
+
+#include "graph/cycle_ratio.hpp"
+#include "graph/cycles.hpp"
+#include "graph/digraph.hpp"
+#include "graph/dot.hpp"
+#include "graph/optimize.hpp"
+#include "graph/random_graphs.hpp"
+#include "graph/throughput.hpp"
+
+namespace wp::graph {
+namespace {
+
+TEST(Digraph, BasicAccessors) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const EdgeId e = g.add_edge(a, b, "ab", 2);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.node_name(a), "a");
+  EXPECT_EQ(g.find_node("b"), b);
+  EXPECT_EQ(g.find_node("zzz"), -1);
+  EXPECT_EQ(g.edge(e).relay_stations, 2);
+  EXPECT_EQ(g.edge_latency(e), 3);
+  EXPECT_EQ(g.out_edges(a).size(), 1u);
+  EXPECT_EQ(g.in_edges(b).size(), 1u);
+  g.set_relay_stations(a, b, 5);
+  EXPECT_EQ(g.edge(e).relay_stations, 5);
+  EXPECT_THROW(g.set_relay_stations(b, a, 1), wp::ContractViolation);
+  EXPECT_THROW(g.add_edge(a, 7), wp::ContractViolation);
+}
+
+TEST(Cycles, SelfLoopAndDigon) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_edge(a, a, "self");
+  g.add_edge(a, b, "ab");
+  g.add_edge(b, a, "ba", 1);
+  const auto cycles = enumerate_cycles(g);
+  ASSERT_EQ(cycles.size(), 2u);
+  // One 1-cycle, one 2-cycle.
+  int count1 = 0, count2 = 0;
+  for (const auto& c : cycles) {
+    if (c.processes == 1) ++count1;
+    if (c.processes == 2) {
+      ++count2;
+      EXPECT_EQ(c.relay_stations, 1);
+      EXPECT_NEAR(c.throughput(), 2.0 / 3.0, 1e-12);
+    }
+  }
+  EXPECT_EQ(count1, 1);
+  EXPECT_EQ(count2, 1);
+}
+
+TEST(Cycles, CompleteGraphCountK4) {
+  // K4 has 6 digons + 8 triangles + 6 four-cycles = 20 elementary cycles.
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node("n" + std::to_string(i));
+  for (int u = 0; u < 4; ++u)
+    for (int v = 0; v < 4; ++v)
+      if (u != v) g.add_edge(u, v);
+  EXPECT_EQ(enumerate_cycles(g).size(), 20u);
+}
+
+TEST(Cycles, AcyclicGraphHasNone) {
+  Digraph g;
+  for (int i = 0; i < 5; ++i) g.add_node("n" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) g.add_edge(i, i + 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 4);
+  EXPECT_TRUE(enumerate_cycles(g).empty());
+}
+
+TEST(Cycles, ToStringNamesNodes) {
+  Digraph g;
+  g.add_node("CU");
+  g.add_node("IC");
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto cycles = enumerate_cycles(g);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycle_to_string(g, cycles[0]), "CU -> IC -> CU");
+}
+
+TEST(CycleRatio, RingFormula) {
+  for (int m : {1, 2, 3, 6}) {
+    for (int n : {0, 1, 2, 5}) {
+      Digraph g = ring_graph(m, {0});
+      g.edge(0).relay_stations = n;
+      const double expected =
+          static_cast<double>(m) / static_cast<double>(m + n);
+      EXPECT_NEAR(min_cycle_ratio_exhaustive(g).ratio, expected, 1e-12);
+      EXPECT_NEAR(min_cycle_ratio_lawler(g).ratio, expected, 1e-9);
+      EXPECT_NEAR(min_cycle_ratio_howard(g).ratio, expected, 1e-9);
+    }
+  }
+}
+
+TEST(CycleRatio, AcyclicReportsUnitThroughput) {
+  Digraph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_edge(0, 1, "", 7);
+  for (const auto& result :
+       {min_cycle_ratio_exhaustive(g), min_cycle_ratio_lawler(g),
+        min_cycle_ratio_howard(g)}) {
+    EXPECT_FALSE(result.has_cycle);
+    EXPECT_DOUBLE_EQ(result.ratio, 1.0);
+    EXPECT_TRUE(result.critical_cycle.empty());
+  }
+}
+
+TEST(CycleRatio, PicksTheWorstLoop) {
+  // Two loops sharing a node: 2/(2+0)=1.0 and 3/(3+3)=0.5.
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node("n" + std::to_string(i));
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2, "", 1);
+  g.add_edge(2, 3, "", 1);
+  g.add_edge(3, 1, "", 1);
+  const auto result = min_cycle_ratio_lawler(g);
+  EXPECT_NEAR(result.ratio, 0.5, 1e-9);
+  EXPECT_EQ(result.critical_cycle.size(), 3u);
+}
+
+class McrCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McrCrossCheck, SolversAgreeOnRandomGraphs) {
+  wp::Rng rng(GetParam());
+  RandomGraphConfig config;
+  config.num_nodes = static_cast<int>(rng.range(3, 10));
+  config.edge_probability = 0.25;
+  config.max_relay_stations = 4;
+  const Digraph g = random_digraph(config, rng);
+  const auto exhaustive = min_cycle_ratio_exhaustive(g, 500000);
+  const auto lawler = min_cycle_ratio_lawler(g);
+  const auto howard = min_cycle_ratio_howard(g);
+  ASSERT_TRUE(exhaustive.has_cycle);
+  EXPECT_NEAR(lawler.ratio, exhaustive.ratio, 1e-9) << "seed " << GetParam();
+  EXPECT_NEAR(howard.ratio, exhaustive.ratio, 1e-9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, McrCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+TEST(Karp, MinimumCycleMean) {
+  // Triangle with weights 1,2,3 (mean 2) and a digon with weights 1,2
+  // (mean 1.5): Karp must report 1.5.
+  Digraph g;
+  for (int i = 0; i < 3; ++i) g.add_node("n" + std::to_string(i));
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  const EdgeId e20 = g.add_edge(2, 0);
+  const EdgeId e10 = g.add_edge(1, 0);
+  std::vector<double> w(static_cast<std::size_t>(g.num_edges()));
+  w[static_cast<std::size_t>(e01)] = 1;
+  w[static_cast<std::size_t>(e12)] = 2;
+  w[static_cast<std::size_t>(e20)] = 3;
+  w[static_cast<std::size_t>(e10)] = 2;
+  const auto mean = min_cycle_mean_karp(g, w);
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_NEAR(*mean, 1.5, 1e-9);
+}
+
+TEST(Karp, AcyclicReturnsNullopt) {
+  Digraph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_edge(0, 1);
+  EXPECT_FALSE(min_cycle_mean_karp(g, {1.0}).has_value());
+}
+
+class KarpVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KarpVsBruteForce, MatchesEnumeration) {
+  wp::Rng rng(GetParam());
+  RandomGraphConfig config;
+  config.num_nodes = 7;
+  config.edge_probability = 0.3;
+  const Digraph g = random_digraph(config, rng);
+  std::vector<double> w;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    (void)e;
+    w.push_back(static_cast<double>(rng.range(-5, 9)));
+  }
+  double best = 1e18;
+  for (const auto& c : enumerate_cycles(g, 500000)) {
+    double sum = 0;
+    for (EdgeId e : c.edges) sum += w[static_cast<std::size_t>(e)];
+    best = std::min(best, sum / static_cast<double>(c.edges.size()));
+  }
+  const auto karp = min_cycle_mean_karp(g, w);
+  ASSERT_TRUE(karp.has_value());
+  EXPECT_NEAR(*karp, best, 1e-9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, KarpVsBruteForce,
+                         ::testing::Range<std::uint64_t>(50, 70));
+
+TEST(Throughput, ReportSortsWorstFirst) {
+  Digraph g = ring_graph(2, {1, 0});  // 2-ring with 1 RS total
+  g.add_node("solo");
+  g.add_edge(2, 2, "self");  // Th 1.0 self-loop
+  const auto report = analyze_throughput(g);
+  ASSERT_EQ(report.loops.size(), 2u);
+  EXPECT_NEAR(report.loops[0].throughput, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(report.loops[0].m, 2);
+  EXPECT_EQ(report.loops[0].n, 1);
+  EXPECT_NEAR(report.system_throughput, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(system_throughput(g), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Optimizer, ExhaustiveFindsBestRelief) {
+  // Ring of 3 with demand 2 RS each; relieving one edge to 0 is best and
+  // relieving two is better still.
+  Digraph g = ring_graph(3, {0});
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    g.edge(e).label = "c" + std::to_string(e);
+  RsOptimizeProblem problem;
+  for (int i = 0; i < 3; ++i) {
+    problem.demand["c" + std::to_string(i)] = 2;
+    problem.relieved["c" + std::to_string(i)] = 0;
+  }
+  problem.max_relieved = 2;
+  const auto result = optimize_rs_exhaustive(problem, static_objective(g));
+  EXPECT_EQ(result.relieved_connections.size(), 2u);
+  EXPECT_NEAR(result.objective, 3.0 / 5.0, 1e-9);  // 3/(3+2)
+}
+
+TEST(Optimizer, GreedyMatchesExhaustiveHere) {
+  Digraph g = ring_graph(4, {0});
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    g.edge(e).label = "c" + std::to_string(e);
+  RsOptimizeProblem problem;
+  for (int i = 0; i < 4; ++i) {
+    problem.demand["c" + std::to_string(i)] = 1;
+    problem.relieved["c" + std::to_string(i)] = 0;
+  }
+  problem.max_relieved = 3;
+  const auto ex = optimize_rs_exhaustive(problem, static_objective(g));
+  const auto gr = optimize_rs_greedy(problem, static_objective(g));
+  EXPECT_NEAR(ex.objective, gr.objective, 1e-9);
+  EXPECT_NEAR(ex.objective, 4.0 / 5.0, 1e-9);
+}
+
+TEST(Optimizer, ZeroBudgetKeepsDemand) {
+  Digraph g = ring_graph(2, {0});
+  g.edge(0).label = "x";
+  g.edge(1).label = "y";
+  RsOptimizeProblem problem;
+  problem.demand = {{"x", 1}, {"y", 1}};
+  problem.relieved = {{"x", 0}, {"y", 0}};
+  problem.max_relieved = 0;
+  const auto result = optimize_rs_exhaustive(problem, static_objective(g));
+  EXPECT_TRUE(result.relieved_connections.empty());
+  EXPECT_NEAR(result.objective, 0.5, 1e-9);
+}
+
+TEST(Dot, ContainsNodesEdgesAndCriticalHighlight) {
+  Digraph g = ring_graph(2, {1});
+  g.edge(0).label = "hot";
+  const std::string dot = to_dot(g, {"title", true, true});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("p0"), std::string::npos);
+  EXPECT_NE(dot.find("hot (1 RS)"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(RandomGraphs, RingGraphShape) {
+  const Digraph g = ring_graph(5, {1, 2});
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 5);
+  // Pattern 1,2 repeats cyclically.
+  EXPECT_EQ(g.edge(0).relay_stations, 1);
+  EXPECT_EQ(g.edge(1).relay_stations, 2);
+  EXPECT_EQ(g.edge(4).relay_stations, 1);
+}
+
+TEST(RandomGraphs, EnsuresCycleWhenAsked) {
+  wp::Rng rng(7);
+  RandomGraphConfig config;
+  config.num_nodes = 6;
+  config.edge_probability = 0.0;
+  config.ensure_cycle = true;
+  const Digraph g = random_digraph(config, rng);
+  EXPECT_FALSE(enumerate_cycles(g).empty());
+}
+
+}  // namespace
+}  // namespace wp::graph

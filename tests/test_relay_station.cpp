@@ -1,0 +1,192 @@
+// Relay-station protocol tests: latency, the two-register skid behaviour,
+// stop propagation, and a property test that no token is ever lost or
+// reordered under adversarial stall patterns.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "core/relay_station.hpp"
+#include "core/wire.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace wp {
+namespace {
+
+/// Drives a chain of n relay stations by hand: a scripted producer that
+/// respects stop (holds its token) and a consumer that stalls on demand.
+class RsHarness {
+ public:
+  explicit RsHarness(int num_stations) {
+    for (int i = 0; i <= num_stations; ++i)
+      wires_.emplace_back("w" + std::to_string(i));
+    for (int i = 0; i < num_stations; ++i)
+      stations_.push_back(std::make_unique<RelayStation>(
+          "rs" + std::to_string(i), &wires_[static_cast<std::size_t>(i)],
+          &wires_[static_cast<std::size_t>(i) + 1]));
+  }
+
+  /// One cycle: producer offers `offer` (or holds the previously refused
+  /// token), consumer stalls if `stall`. Returns the token delivered to the
+  /// consumer this cycle (if any).
+  std::optional<Word> step(std::optional<Word> offer, bool stall) {
+    // eval phase
+    for (auto& rs : stations_) rs->eval(cycle_);
+    // producer drive: held token takes precedence
+    if (!held_ && offer) held_ = offer;
+    wires_.front().drive(held_ ? Token::make(*held_) : Token::tau());
+    // consumer stop line
+    wires_.back().drive_stop(stall);
+
+    // commit phase
+    std::optional<Word> delivered;
+    if (wires_.back().transferring()) delivered = wires_.back().token().value;
+    for (auto& rs : stations_) rs->commit(cycle_);
+    if (held_ && !wires_.front().stop()) held_.reset();  // accepted
+    ++cycle_;
+    return delivered;
+  }
+
+  bool producer_blocked() const { return held_.has_value(); }
+  RelayStation& station(int i) { return *stations_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::deque<Wire> wires_;
+  std::vector<std::unique_ptr<RelayStation>> stations_;
+  std::optional<Word> held_;
+  Cycle cycle_ = 0;
+};
+
+TEST(RelayStation, OneStationOneCycleLatency) {
+  RsHarness h(1);
+  EXPECT_FALSE(h.step(7, false).has_value());  // enters the station
+  auto out = h.step(std::nullopt, false);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 7u);
+}
+
+TEST(RelayStation, ChainLatencyEqualsLengthPlusEntry) {
+  // A token spends one cycle entering the chain and one cycle per station:
+  // offered at cycle 0, it reaches the consumer at cycle n, i.e. on the
+  // (n+1)-th step call.
+  for (int n : {1, 2, 3, 5, 8}) {
+    RsHarness h(n);
+    std::optional<Word> out = h.step(42, false);
+    int calls = 1;
+    while (!out.has_value() && calls < 20) {
+      out = h.step(std::nullopt, false);
+      ++calls;
+    }
+    ASSERT_TRUE(out.has_value()) << "n=" << n;
+    EXPECT_EQ(calls, n + 1) << "n=" << n;
+    EXPECT_EQ(*out, 42u);
+  }
+}
+
+TEST(RelayStation, FullThroughputBackToBack) {
+  RsHarness h(3);
+  int delivered = 0;
+  for (Word v = 0; v < 50; ++v) {
+    auto out = h.step(v, false);
+    if (out) {
+      EXPECT_EQ(*out, static_cast<Word>(delivered));
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, 50 - 3);  // pipeline fill only
+}
+
+TEST(RelayStation, StallBuffersIntoAux) {
+  RsHarness h(1);
+  h.step(1, true);   // token enters main while consumer stalls
+  h.step(2, true);   // second token must land in aux
+  EXPECT_EQ(h.station(0).occupancy(), 2);
+  // Third token is refused (stop reaches the producer), not lost.
+  h.step(3, true);
+  EXPECT_EQ(h.station(0).occupancy(), 2);
+  EXPECT_TRUE(h.producer_blocked());
+  // Release: 1, 2, 3 must come out in order.
+  auto a = h.step(std::nullopt, false);
+  auto b = h.step(std::nullopt, false);
+  auto c = h.step(std::nullopt, false);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(*a, 1u);
+  EXPECT_EQ(*b, 2u);
+  EXPECT_EQ(*c, 3u);
+}
+
+TEST(RelayStation, OccupancyNeverExceedsTwo) {
+  Rng rng(99);
+  RsHarness h(4);
+  Word next = 0;
+  for (int cycle = 0; cycle < 2000; ++cycle) {
+    const bool stall = rng.chance(0.5);
+    std::optional<Word> offer;
+    if (rng.chance(0.7)) offer = next;
+    auto before = next;
+    h.step(offer, stall);
+    if (offer && !h.producer_blocked() && next == before) ++next;
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_LE(h.station(i).occupancy(), 2);
+      ASSERT_GE(h.station(i).occupancy(), 0);
+    }
+  }
+}
+
+/// The key property: an adversarially stalled chain delivers exactly the
+/// produced sequence, in order, without loss or duplication.
+class RelayStationProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(RelayStationProperty, LosslessInOrderUnderRandomStalls) {
+  const auto [stations, seed] = GetParam();
+  Rng rng(seed);
+  RsHarness h(stations);
+  std::vector<Word> produced, consumed;
+  Word next = 100;
+  for (int cycle = 0; cycle < 3000; ++cycle) {
+    const bool stall = rng.chance(0.4);
+    std::optional<Word> offer;
+    const bool was_blocked = h.producer_blocked();
+    if (rng.chance(0.6)) offer = next;
+    auto out = h.step(offer, stall);
+    if (offer && !was_blocked) {
+      produced.push_back(next);  // the producer committed to this token
+      ++next;
+    }
+    if (out) consumed.push_back(*out);
+  }
+  // Drain.
+  for (int i = 0; i < 4 * stations + 8; ++i) {
+    auto out = h.step(std::nullopt, false);
+    if (out) consumed.push_back(*out);
+  }
+  ASSERT_EQ(consumed.size(), produced.size());
+  EXPECT_EQ(consumed, produced);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RelayStationProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 6),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+TEST(RelayStation, ResetClearsState) {
+  RsHarness h(1);
+  h.step(5, true);
+  h.step(6, true);
+  EXPECT_EQ(h.station(0).occupancy(), 2);
+  h.station(0).reset();
+  EXPECT_EQ(h.station(0).occupancy(), 0);
+  EXPECT_EQ(h.station(0).tokens_forwarded(), 0u);
+}
+
+TEST(RelayStation, NullWiresRejected) {
+  Wire w;
+  EXPECT_THROW(RelayStation("bad", nullptr, &w), ContractViolation);
+  EXPECT_THROW(RelayStation("bad", &w, &w), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wp

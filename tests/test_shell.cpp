@@ -1,0 +1,294 @@
+// Shell (wrapper) unit tests: strict WP1 synchronization, τ emission,
+// initial tokens, back-pressure, oracle-based WP2 firing, stale-token
+// discarding, peeking, unsound-oracle detection and output fan-out.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "util/assert.hpp"
+#include "core/procs.hpp"
+#include "core/shell.hpp"
+#include "core/system.hpp"
+
+namespace wp {
+namespace {
+
+ShellOptions wp1() {
+  ShellOptions o;
+  o.use_oracle = false;
+  return o;
+}
+
+ShellOptions wp2() {
+  ShellOptions o;
+  o.use_oracle = true;
+  return o;
+}
+
+// A two-input process that records what it saw at each firing.
+class RecordingProcess final : public Process {
+ public:
+  RecordingProcess() : Process("rec") {
+    add_input("a");
+    add_input("b");
+    add_output("out", 0);
+  }
+  void fire(const Word* in, Word* out) override {
+    seen.emplace_back(in[0], in[1]);
+    out[0] = in[0] + in[1];
+  }
+  void reset() override { seen.clear(); }
+  std::vector<std::pair<Word, Word>> seen;
+};
+
+// An intentionally broken process: its oracle never asks for input b, but
+// fire() reads it anyway.
+class UnsoundOracleProcess final : public Process {
+ public:
+  UnsoundOracleProcess() : Process("unsound") {
+    add_input("a");
+    add_input("b");
+    add_output("out", 0);
+  }
+  InputMask required(const PeekView&) const override { return 0b01; }
+  void fire(const Word* in, Word* out) override { out[0] = in[0] + in[1]; }
+  void reset() override {}
+};
+
+TEST(Shell, StrictWaitsForAllInputs) {
+  Network net;
+  Wire* wa = net.make_wire("a");
+  Wire* wb = net.make_wire("b");
+  Wire* wo = net.make_wire("o");
+  auto proc = std::make_unique<RecordingProcess>();
+  auto* rec = proc.get();
+  auto* shell = net.add_node(
+      std::make_unique<Shell>("s", std::move(proc), wp1()));
+  shell->connect_input(0, wa, 10);  // initial tokens tag 0: (10, 20)
+  shell->connect_input(1, wb, 20);
+  shell->add_output_wire(0, wo);
+
+  net.step();  // fires tag 0 from the initial tokens
+  EXPECT_EQ(shell->stats().firings, 1u);
+  ASSERT_EQ(rec->seen.size(), 1u);
+  EXPECT_EQ(rec->seen[0], std::make_pair(Word{10}, Word{20}));
+
+  // Only input a gets a tag-1 token: the strict shell must stall.
+  wa->drive(Token::make(11));
+  net.step();
+  wa->drive(Token::tau());
+  net.step();
+  EXPECT_EQ(shell->stats().firings, 1u);
+  EXPECT_GT(shell->stats().stalls_input, 0u);
+
+  // b arrives: fire.
+  wb->drive(Token::make(21));
+  net.step();
+  wb->drive(Token::tau());
+  EXPECT_EQ(shell->stats().firings, 2u);
+  EXPECT_EQ(rec->seen[1], std::make_pair(Word{11}, Word{21}));
+}
+
+TEST(Shell, EmitsTauWhileStalled) {
+  Network net;
+  Wire* wa = net.make_wire("a");
+  Wire* wb = net.make_wire("b");
+  Wire* wo = net.make_wire("o");
+  auto* shell = net.add_node(std::make_unique<Shell>(
+      "s", std::make_unique<RecordingProcess>(), wp1()));
+  shell->connect_input(0, wa, 1);
+  shell->connect_input(1, wb, 2);
+  shell->add_output_wire(0, wo);
+
+  net.step();  // tag-0 firing; result (3) is driven next cycle
+  net.step();
+  EXPECT_TRUE(wo->token().valid);
+  EXPECT_EQ(wo->token().value, 3u);
+  net.step();  // no new inputs: stalled, output must be τ
+  EXPECT_FALSE(wo->token().valid);
+}
+
+TEST(Shell, OutputHeldUnderStopThenDelivered) {
+  Network net;
+  Wire* wa = net.make_wire("a");
+  Wire* wo = net.make_wire("o");
+  auto* shell = net.add_node(std::make_unique<Shell>(
+      "s", std::make_unique<IdentityProcess>("id"), wp1()));
+  shell->connect_input(0, wa, 5);
+  shell->add_output_wire(0, wo);
+
+  wo->drive_stop(true);  // consumer stalls (re-driven manually each eval)
+  net.step();            // fires tag 0 (output pending)
+  EXPECT_EQ(shell->stats().firings, 1u);
+  // Pending output + stop: cannot fire tag 1 even though input arrives.
+  wa->drive(Token::make(6));
+  wo->drive_stop(true);
+  net.step();
+  wa->drive(Token::tau());
+  EXPECT_EQ(shell->stats().firings, 1u);
+  EXPECT_GT(shell->stats().stalls_output, 0u);
+  EXPECT_EQ(wo->token().value, 5u);  // held token re-driven
+  // Release the stop: token 5 delivered, then tag 1 fires with value 6.
+  wo->drive_stop(false);
+  net.step();
+  EXPECT_EQ(shell->stats().firings, 2u);
+}
+
+TEST(Shell, BackPressureAssertsStopWhenFifoFull) {
+  Network net;
+  Wire* wa = net.make_wire("a");
+  Wire* wb = net.make_wire("b");
+  Wire* wo = net.make_wire("o");
+  ShellOptions opts = wp1();
+  opts.fifo_capacity = 2;
+  auto* shell = net.add_node(std::make_unique<Shell>(
+      "s", std::make_unique<RecordingProcess>(), opts));
+  shell->connect_input(0, wa, 0);
+  shell->connect_input(1, wb, 0);
+  shell->add_output_wire(0, wo);
+
+  // Flood input a while b starves: a's FIFO fills to capacity, stop rises.
+  for (int i = 1; i <= 6; ++i) {
+    wa->drive(Token::make(static_cast<Word>(i)));
+    net.step();
+    EXPECT_LE(shell->fifo_size(0), 2u);
+  }
+  EXPECT_TRUE(wa->stop());
+}
+
+TEST(Shell, OracleFiresWithoutUnneededInput) {
+  Network net;
+  Wire* wa = net.make_wire("a");
+  Wire* wb = net.make_wire("b");
+  Wire* wo = net.make_wire("o");
+  // Input b needed only at every 3rd firing (phase 0).
+  auto* shell = net.add_node(std::make_unique<Shell>(
+      "s", std::make_unique<DutyCycleProcess>("duty", 3), wp2()));
+  shell->connect_input(0, wa, 100);
+  shell->connect_input(1, wb, 200);
+  shell->add_output_wire(0, wo);
+
+  net.step();  // tag 0 fires (both initial tokens present)
+  EXPECT_EQ(shell->stats().firings, 1u);
+  // Feed only a: tags 1 and 2 need just a, so the shell runs ahead.
+  wa->drive(Token::make(101));
+  net.step();
+  wa->drive(Token::make(102));
+  net.step();
+  wa->drive(Token::tau());
+  EXPECT_EQ(shell->stats().firings, 3u);
+  // Tag 3 is a phase-0 firing again: b required, shell must stall.
+  wa->drive(Token::make(103));
+  net.step();
+  wa->drive(Token::tau());
+  net.step();
+  EXPECT_EQ(shell->stats().firings, 3u);
+  // The stale b tokens (tags 1, 2) arrive late and must be discarded; the
+  // tag-3 token unblocks the firing.
+  for (Word v : {201, 202, 203}) {
+    wb->drive(Token::make(v));
+    net.step();
+  }
+  wb->drive(Token::tau());
+  EXPECT_EQ(shell->stats().firings, 4u);
+  EXPECT_EQ(shell->stats().discarded_tokens, 2u);
+}
+
+TEST(Shell, StrictModeNeverDiscards) {
+  Network net;
+  Wire* wa = net.make_wire("a");
+  Wire* wb = net.make_wire("b");
+  Wire* wo = net.make_wire("o");
+  auto* shell = net.add_node(std::make_unique<Shell>(
+      "s", std::make_unique<DutyCycleProcess>("duty", 3), wp1()));
+  shell->connect_input(0, wa, 0);
+  shell->connect_input(1, wb, 0);
+  shell->add_output_wire(0, wo);
+  for (int i = 1; i <= 10; ++i) {
+    wa->drive(Token::make(static_cast<Word>(i)));
+    wb->drive(Token::make(static_cast<Word>(100 + i)));
+    net.step();
+  }
+  EXPECT_EQ(shell->stats().discarded_tokens, 0u);
+  EXPECT_EQ(shell->stats().firings, 10u);  // one firing per cycle, tags 0-9
+}
+
+TEST(Shell, UnsoundOracleGetsPoisonedInput) {
+  Network net;
+  Wire* wa = net.make_wire("a");
+  Wire* wb = net.make_wire("b");
+  Wire* wo = net.make_wire("o");
+  auto* shell = net.add_node(std::make_unique<Shell>(
+      "s", std::make_unique<UnsoundOracleProcess>(), wp2()));
+  shell->connect_input(0, wa, 1);
+  shell->connect_input(1, wb, 2);
+  shell->add_output_wire(0, wo);
+  net.step();  // fires: b available but NOT required -> poisoned
+  net.step();
+  EXPECT_TRUE(wo->token().valid);
+  EXPECT_EQ(wo->token().value, 1u + kPoisonWord);  // the bug is loud
+}
+
+TEST(Shell, FanOutWaitsForAllBranches) {
+  Network net;
+  Wire* wa = net.make_wire("a");
+  Wire* w1 = net.make_wire("o1");
+  Wire* w2 = net.make_wire("o2");
+  auto* shell = net.add_node(std::make_unique<Shell>(
+      "s", std::make_unique<IdentityProcess>("id"), wp1()));
+  shell->connect_input(0, wa, 7);
+  shell->add_output_wire(0, w1);
+  shell->add_output_wire(0, w2);
+
+  w2->drive_stop(true);
+  net.step();  // fires tag 0
+  wa->drive(Token::make(8));
+  w2->drive_stop(true);
+  net.step();  // w1 delivered, w2 held: no second firing
+  wa->drive(Token::tau());
+  EXPECT_EQ(shell->stats().firings, 1u);
+  w2->drive_stop(true);
+  net.step();  // branch w1 now drives τ, w2 still re-drives the held token
+  EXPECT_FALSE(w1->token().valid);  // already delivered branch sends τ
+  EXPECT_EQ(w2->token().value, 7u);
+  w2->drive_stop(false);
+  net.step();  // w2 delivered; tag 1 fires
+  EXPECT_EQ(shell->stats().firings, 2u);
+}
+
+TEST(Shell, FireObserverSeesTagsInOrder) {
+  Network net;
+  Wire* wa = net.make_wire("a");
+  Wire* wo = net.make_wire("o");
+  auto* shell = net.add_node(std::make_unique<Shell>(
+      "s", std::make_unique<IdentityProcess>("id"), wp1()));
+  shell->connect_input(0, wa, 0);
+  shell->add_output_wire(0, wo);
+  std::vector<Tag> tags;
+  shell->set_fire_observer(
+      [&tags](Cycle, Tag tag, const Word*) { tags.push_back(tag); });
+  for (int i = 1; i <= 5; ++i) {
+    wa->drive(Token::make(static_cast<Word>(i)));
+    net.step();
+  }
+  EXPECT_EQ(tags, (std::vector<Tag>{0, 1, 2, 3, 4}));
+}
+
+TEST(Shell, RejectsBadConfiguration) {
+  auto make = [] {
+    return std::make_unique<IdentityProcess>("id");
+  };
+  EXPECT_THROW(Shell("s", nullptr, wp1()), ContractViolation);
+  ShellOptions zero = wp1();
+  zero.fifo_capacity = 0;
+  EXPECT_THROW(Shell("s", make(), zero), ContractViolation);
+
+  Network net;
+  Wire* w = net.make_wire("w");
+  Shell s("s", make(), wp1());
+  EXPECT_THROW(s.connect_input(5, w, 0), ContractViolation);
+  s.connect_input(0, w, 0);
+  EXPECT_THROW(s.connect_input(0, w, 0), ContractViolation);  // twice
+}
+
+}  // namespace
+}  // namespace wp

@@ -1,0 +1,311 @@
+// System-level tests: golden vs LID cycle-identity at zero relay stations,
+// the Th = m/(m+n) loop formula in simulation (parameterized ring sweep),
+// equivalence checking, and back-pressure safety with tiny FIFOs.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+#include "core/procs.hpp"
+#include "core/system.hpp"
+
+namespace wp {
+namespace {
+
+/// A ring of `m` accumulator-ish identity stages with a source-free closed
+/// loop: stage i feeds stage (i+1) mod m. Every stage also counts firings;
+/// the ring sustains one token per stage.
+SystemSpec ring_system(int m) {
+  SystemSpec spec;
+  for (int i = 0; i < m; ++i) {
+    spec.add_process("p" + std::to_string(i), [i]() {
+      // Reset output value = stage index, so values circulate and mix.
+      return std::make_unique<IdentityProcess>("p" + std::to_string(i),
+                                               static_cast<Word>(i));
+    });
+  }
+  for (int i = 0; i < m; ++i)
+    spec.add_channel("p" + std::to_string(i), "out",
+                     "p" + std::to_string((i + 1) % m), "in",
+                     "ring" + std::to_string(i));
+  return spec;
+}
+
+TEST(System, GoldenRunsAndTraces) {
+  SystemSpec spec = ring_system(3);
+  GoldenSim golden(spec, true);
+  for (int i = 0; i < 10; ++i) golden.step();
+  EXPECT_EQ(golden.cycle(), 10u);
+  const auto& trace = golden.trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.at("p0.out").size(), 10u);
+  // Identity ring of period 3: p0 emits the value it got from p2.
+  EXPECT_EQ(trace.at("p0.out")[0], 2u);  // p2's reset value
+}
+
+TEST(System, LidZeroRsIsCycleAccurate) {
+  SystemSpec spec = ring_system(4);
+  GoldenSim golden(spec, true);
+  for (int i = 0; i < 50; ++i) golden.step();
+
+  LidSystem lid = build_lid(spec, ShellOptions{}, true);
+  for (int i = 0; i < 50; ++i) lid.network->step();
+
+  // Every shell fired every cycle (throughput 1.0)...
+  for (const auto& [name, shell] : lid.shells)
+    EXPECT_EQ(shell->stats().firings, 50u) << name;
+  // ...and the τ-filtered streams match the golden ones exactly.
+  const auto eq = check_equivalence(golden.trace(), lid.trace);
+  EXPECT_TRUE(eq.equivalent) << eq.detail;
+  EXPECT_EQ(eq.events_checked, 4u * 50u);
+}
+
+/// Simulated WP1 ring throughput must equal m/(m+n) (paper §2).
+class RingThroughput
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(RingThroughput, MatchesLoopFormula) {
+  const auto [m, n, oracle] = GetParam();
+  SystemSpec spec = ring_system(m);
+  spec.set_connection_rs("ring0", n);  // n relay stations on one edge
+
+  ShellOptions opts;
+  opts.use_oracle = oracle;
+  LidSystem lid = build_lid(spec, opts, false);
+  const std::uint64_t cycles = 3000;
+  for (std::uint64_t i = 0; i < cycles; ++i) lid.network->step();
+
+  const double expected = static_cast<double>(m) / (m + n);
+  for (const auto& [name, shell] : lid.shells) {
+    const double th =
+        static_cast<double>(shell->stats().firings) / static_cast<double>(cycles);
+    // IdentityProcess has no oracle slack, so WP1 == WP2 == m/(m+n).
+    EXPECT_NEAR(th, expected, 0.01) << name << " m=" << m << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RingThroughput,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(0, 1, 2, 4),
+                       ::testing::Values(false, true)));
+
+/// Distributing the same total RS differently around a loop must not change
+/// throughput (only the sum m+n matters).
+TEST(System, RsPlacementWithinLoopIsIrrelevant) {
+  for (const std::vector<int>& split : std::vector<std::vector<int>>{
+           {3, 0, 0}, {1, 1, 1}, {0, 2, 1}}) {
+    SystemSpec spec = ring_system(3);
+    for (int i = 0; i < 3; ++i)
+      spec.set_connection_rs("ring" + std::to_string(i),
+                             split[static_cast<std::size_t>(i)]);
+    LidSystem lid = build_lid(spec, ShellOptions{}, false);
+    for (int i = 0; i < 2400; ++i) lid.network->step();
+    const double th = static_cast<double>(
+                          lid.shells.at("p0")->stats().firings) /
+                      2400.0;
+    EXPECT_NEAR(th, 0.5, 0.01);  // 3/(3+3)
+  }
+}
+
+TEST(System, TinyFifosStillLoseNothing) {
+  // With capacity-1 FIFOs the ring must still make progress and stay
+  // token-conserving (throughput may drop, correctness may not).
+  SystemSpec spec = ring_system(3);
+  spec.set_all_rs(2);
+  ShellOptions opts;
+  opts.fifo_capacity = 1;
+  GoldenSim golden(spec, true);
+  for (int i = 0; i < 200; ++i) golden.step();
+  LidSystem lid = build_lid(spec, opts, true);
+  for (int i = 0; i < 2000; ++i) lid.network->step();
+  EXPECT_GT(lid.shells.at("p0")->stats().firings, 50u);
+  const auto eq = check_equivalence(golden.trace(), lid.trace);
+  EXPECT_TRUE(eq.equivalent) << eq.detail;
+}
+
+TEST(System, SourceSinkPipelineDeliversSequence) {
+  SystemSpec spec;
+  spec.add_process("src", []() {
+    return std::make_unique<CounterSource>("src", 5, 3, 0);
+  });
+  spec.add_process("sink", []() {
+    return std::make_unique<SinkProcess>("sink", 40);
+  });
+  spec.add_channel("src", "out", "sink", "in");
+  spec.set_all_rs(3);
+
+  LidSystem lid = build_lid(spec, ShellOptions{}, false);
+  lid.run_until_halt(10000, /*grace=*/0);
+  const auto& sink =
+      dynamic_cast<const SinkProcess&>(lid.shells.at("sink")->process());
+  ASSERT_GE(sink.received().size(), 40u);
+  for (std::size_t i = 0; i < 40; ++i) {
+    // First value is the channel's initial token (source reset value 5),
+    // then the source's emitted sequence 5, 8, 11, ...
+    const Word expected = i == 0 ? 5 : 5 + 3 * (static_cast<Word>(i) - 1);
+    EXPECT_EQ(sink.received()[i], expected) << i;
+  }
+}
+
+TEST(System, EquivalenceCheckerFindsDivergence) {
+  Trace a{{"p.out", {1, 2, 3}}};
+  Trace b{{"p.out", {1, 9, 3}}};
+  const auto eq = check_equivalence(a, b);
+  EXPECT_FALSE(eq.equivalent);
+  EXPECT_NE(eq.detail.find("tag 1"), std::string::npos);
+}
+
+TEST(System, EquivalenceIsPrefixBased) {
+  Trace golden{{"p.out", {1, 2, 3, 4, 5}}};
+  Trace wp{{"p.out", {1, 2, 3}}};  // shorter (stalled) but equivalent
+  const auto eq = check_equivalence(golden, wp);
+  EXPECT_TRUE(eq.equivalent);
+  EXPECT_EQ(eq.events_checked, 3u);
+}
+
+TEST(System, EquivalenceIgnoresUnsharedStreams) {
+  Trace golden{{"p.out", {1}}, {"q.out", {7}}};
+  Trace wp{{"p.out", {1}}};
+  EXPECT_TRUE(check_equivalence(golden, wp).equivalent);
+}
+
+TEST(System, SpecValidation) {
+  SystemSpec spec;
+  spec.add_process("a", []() { return std::make_unique<IdentityProcess>("a"); });
+  EXPECT_THROW(spec.add_process("a", []() {
+    return std::make_unique<IdentityProcess>("a");
+  }), ContractViolation);
+  EXPECT_THROW(spec.add_channel("a", "out", "missing", "in"),
+               ContractViolation);
+  spec.add_process("b", []() { return std::make_unique<IdentityProcess>("b"); });
+  spec.add_channel("a", "out", "b", "in");
+  EXPECT_THROW(spec.set_connection_rs("nope", 1), ContractViolation);
+  spec.set_connection_rs("a-b", 2);
+  EXPECT_EQ(spec.channels()[0].relay_stations, 2);
+}
+
+TEST(System, ResetReproducesTheRunExactly) {
+  // Network::reset must restore wires, relay stations and shells (tags,
+  // FIFOs, initial tokens) to power-on state: a re-run yields the same
+  // τ-filtered trace.
+  SystemSpec spec = ring_system(3);
+  spec.set_connection_rs("ring1", 2);
+  ShellOptions wp2;
+  wp2.use_oracle = true;
+  LidSystem lid = build_lid(spec, wp2, true);
+  for (int i = 0; i < 400; ++i) lid.network->step();
+  const Trace first = lid.trace;
+  lid.trace.clear();
+  lid.network->reset();
+  EXPECT_EQ(lid.network->cycle(), 0u);
+  for (int i = 0; i < 400; ++i) lid.network->step();
+  EXPECT_EQ(first, lid.trace);
+}
+
+TEST(System, BoundedFifosMatchTheSemiInfiniteAbstraction) {
+  // Paper §1 first defines the wrapper with "semi-infinite fifos", then
+  // bounds them with back-pressure. Both must produce identical streams
+  // and identical throughput once the bound exceeds the loop slack.
+  SystemSpec spec = ring_system(4);
+  spec.set_connection_rs("ring0", 3);
+  Trace traces[2];
+  std::uint64_t firings[2];
+  int variant = 0;
+  for (const std::size_t capacity : {4u, 1u << 20}) {
+    ShellOptions opts;
+    opts.use_oracle = true;
+    opts.fifo_capacity = capacity;  // 2^20 ~ the semi-infinite abstraction
+    LidSystem lid = build_lid(spec, opts, true);
+    for (int i = 0; i < 1000; ++i) lid.network->step();
+    traces[variant] = std::move(lid.trace);
+    firings[variant] = lid.shells.at("p0")->stats().firings;
+    ++variant;
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(firings[0], firings[1]);
+}
+
+TEST(System, GoldenUnconnectedInputReadsItsResetValue) {
+  SystemSpec spec;
+  spec.add_process("lonely", []() {
+    auto p = std::make_unique<AdderProcess>("lonely");
+    return p;
+  });
+  spec.add_process("echo", []() {
+    return std::make_unique<IdentityProcess>("echo", 0);
+  });
+  // Only input a is fed; input b stays unconnected (reset value 0).
+  spec.add_channel("echo", "out", "lonely", "a");
+  spec.add_channel("lonely", "sum", "echo", "in");
+  GoldenSim golden(spec, true);
+  for (int i = 0; i < 10; ++i) golden.step();
+  // sum = a + 0 forever: the loop circulates the initial 0s.
+  for (Word v : golden.trace().at("lonely.sum")) EXPECT_EQ(v, 0u);
+}
+
+TEST(System, HaltGraceDrainsInFlightTokens) {
+  SystemSpec spec;
+  spec.add_process("src", []() {
+    return std::make_unique<CounterSource>("src", 1, 1, 20);  // halts at 20
+  });
+  spec.add_process("sink", []() {
+    return std::make_unique<SinkProcess>("sink", 0);
+  });
+  spec.add_channel("src", "out", "sink", "in");
+  spec.set_all_rs(4);
+
+  for (const std::uint64_t grace : {0ull, 64ull}) {
+    LidSystem lid = build_lid(spec, ShellOptions{}, false);
+    lid.run_until_halt(10000, grace);
+    const auto& sink =
+        dynamic_cast<const SinkProcess&>(lid.shells.at("sink")->process());
+    if (grace == 0) {
+      EXPECT_LT(sink.received().size(), 21u);  // tail still in the RS chain
+    } else {
+      EXPECT_EQ(sink.received().size(), 21u);  // initial token + 20 emitted
+    }
+  }
+}
+
+TEST(System, WatchdogThrowsAfterQuietWindow) {
+  // A chain with no source stalls once the initial tokens are consumed;
+  // an armed watchdog must convert that into a loud failure.
+  SystemSpec spec;
+  spec.add_process("a", []() { return std::make_unique<IdentityProcess>("a"); });
+  spec.add_process("b", []() { return std::make_unique<IdentityProcess>("b"); });
+  spec.add_channel("a", "out", "b", "in");
+  spec.add_channel("b", "out", "a", "in");
+  spec.set_all_rs(2);  // loop throughput 2/(2+4): still progresses
+  LidSystem lid = build_lid(spec, ShellOptions{}, false);
+  std::uint64_t last = 0;
+  lid.network->arm_watchdog(
+      [&]() {
+        // Claim progress only when a NEW firing happened; rings progress
+        // forever, so force a fake stall by capping the count.
+        const std::uint64_t now =
+            std::min<std::uint64_t>(lid.total_firings(), 5);
+        const bool progressed = now != last;
+        last = now;
+        return progressed;
+      },
+      /*window=*/50);
+  EXPECT_THROW(lid.network->run(100000, []() { return false; }),
+               ContractViolation);
+}
+
+TEST(System, WatchdogDetectsDeadlock) {
+  // Two strict shells that wait on each other with no initial token cannot
+  // exist through build_lid (channels always seed one token), so emulate a
+  // stall: a sink whose producer never fires because its own input is never
+  // fed. A 2-node chain without a source stalls after the initial tokens.
+  SystemSpec spec;
+  spec.add_process("x", []() { return std::make_unique<IdentityProcess>("x"); });
+  spec.add_process("y", []() { return std::make_unique<IdentityProcess>("y"); });
+  spec.add_channel("x", "out", "y", "in");
+  // x's input is unconnected -> build must reject it.
+  EXPECT_THROW(build_lid(spec, ShellOptions{}, false).network->step(),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace wp
