@@ -3,6 +3,9 @@
 // relay-station demand from wire lengths, and compare the resulting system
 // throughput for (a) area/wirelength-driven and (b) throughput-driven
 // annealing, under WP1 and WP2 execution of the real programs.
+//
+// The multi-seed restarts run on the shared thread pool (anneal_parallel),
+// each with a private warm-started Howard throughput oracle.
 #include <iostream>
 
 #include "floorplan/annealer.hpp"
@@ -11,12 +14,14 @@
 #include "graph/throughput.hpp"
 #include "proc/experiment.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using wp::fplan::AnnealOptions;
 using wp::fplan::AnnealResult;
 using wp::fplan::Instance;
+using wp::fplan::ParallelAnnealOptions;
 using wp::fplan::WireDelayModel;
 
 double static_throughput_of_demand(
@@ -42,17 +47,14 @@ int main() {
   // fetch loop — the regime where the floorplan objective matters.
   delay.clock_ps = 350.0;
 
-  auto throughput_fn =
-      [&cpu_graph](const std::vector<std::pair<std::string, int>>& demand) {
-        return static_throughput_of_demand(cpu_graph, demand);
-      };
-
   TextTable table({"objective", "area (mm^2)", "wirelength (mm)",
                    "static Th", "sim Th WP1", "sim Th WP2"});
   table.add_section("Floorplan-driven wire pipelining of the case-study "
                     "CPU (clock " +
                     fmt_fixed(delay.clock_ps, 0) + " ps, " +
-                    fmt_fixed(delay.ps_per_mm, 0) + " ps/mm wires)");
+                    fmt_fixed(delay.ps_per_mm, 0) + " ps/mm wires, " +
+                    std::to_string(ThreadPool::shared().size()) +
+                    " workers)");
   table.add_separator();
 
   const proc::ProgramSpec program = proc::extraction_sort_program(16, 1);
@@ -60,24 +62,20 @@ int main() {
   options.check_equivalence = false;
 
   for (const bool throughput_driven : {false, true}) {
-    // Best of three annealing seeds under each objective.
-    AnnealResult result;
-    bool first = true;
-    for (const std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
-      AnnealOptions anneal_options;
-      anneal_options.iterations = 20000;
-      anneal_options.seed = seed;
-      anneal_options.delay_model = delay;
-      if (throughput_driven) {
-        anneal_options.weight_throughput = 500.0;
-        anneal_options.throughput_fn = throughput_fn;
-      }
-      AnnealResult candidate = fplan::anneal(cpu, anneal_options);
-      if (first || candidate.cost < result.cost) {
-        result = std::move(candidate);
-        first = false;
-      }
+    // Best of five annealing seeds (11..15) under each objective, fanned
+    // out over the pool; selection is deterministic best-of.
+    ParallelAnnealOptions parallel;
+    parallel.base.iterations = 20000;
+    parallel.base.seed = 11;
+    parallel.base.delay_model = delay;
+    parallel.restarts = 5;
+    if (throughput_driven) {
+      parallel.base.weight_throughput = 500.0;
+      parallel.throughput_factory = [&cpu_graph]() {
+        return graph::ThroughputEvaluator(cpu_graph);
+      };
     }
+    const AnnealResult result = fplan::anneal_parallel(cpu, parallel);
     const auto demand = rs_demand(cpu, result.placement, delay);
 
     proc::RsConfig config{"floorplan", {}};
@@ -110,27 +108,27 @@ int main() {
     for (const auto& b : inst.blocks) g.add_node(b.name);
     for (const auto& n : inst.nets)
       g.add_edge(n.src_block, n.dst_block, n.connection);
-    auto synth_fn =
-        [&g](const std::vector<std::pair<std::string, int>>& demand) {
-          return static_throughput_of_demand(g, demand);
-        };
     double th[2] = {0, 0};
     for (const bool driven : {false, true}) {
-      // Best of three seeds, judged by the achieved static throughput.
-      for (const std::uint64_t seed : {3u, 4u, 5u}) {
+      // Best of three seeds (3..5), judged by the achieved static
+      // throughput; the seeds run concurrently, each with its own oracle.
+      const std::uint64_t base_seed = 3;
+      double seed_th[3] = {0, 0, 0};
+      ThreadPool::shared().parallel_for(0, 3, [&](std::size_t i) {
         AnnealOptions anneal_options;
         anneal_options.iterations = 6000;
-        anneal_options.seed = seed;
+        anneal_options.seed = base_seed + i;
         anneal_options.delay_model = delay;
+        graph::ThroughputEvaluator oracle(g);
         if (driven) {
           anneal_options.weight_throughput = 100.0;
-          anneal_options.throughput_fn = synth_fn;
+          anneal_options.throughput_fn = oracle;
         }
         const AnnealResult result = fplan::anneal(inst, anneal_options);
-        th[driven ? 1 : 0] =
-            std::max(th[driven ? 1 : 0],
-                     synth_fn(rs_demand(inst, result.placement, delay)));
-      }
+        seed_th[i] = oracle(rs_demand(inst, result.placement, delay));
+      });
+      for (const double th_i : seed_th)
+        th[driven ? 1 : 0] = std::max(th[driven ? 1 : 0], th_i);
     }
     synth.add_row({inst.name, std::to_string(inst.blocks.size()),
                    std::to_string(inst.nets.size()), fmt_fixed(th[0], 3),

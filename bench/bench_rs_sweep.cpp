@@ -1,10 +1,15 @@
 // E7 (extension) — relay-station depth sweep: Th versus n in 0..6 on each
 // connection separately, WP1 vs WP2, both programs. Generalizes Table 1's
 // single-RS rows and shows where the WP2 advantage saturates.
+//
+// Every sweep point is an independent golden/WP1/WP2 simulation triple, so
+// the whole sweep fans out over the shared thread pool (ParallelSweep) and
+// the rows come back in deterministic input order.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "proc/experiment.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace wp::proc;
@@ -18,21 +23,29 @@ int main() {
         use_matmul ? matmul_program(4, 2) : extraction_sort_program(16, 1);
     wp::TextTable table({"connection", "n", "Th WP1", "Th WP2", "gain",
                          "static"});
-    table.add_section("RS depth sweep — " + program.name);
+    table.add_section("RS depth sweep — " + program.name + " (" +
+                      std::to_string(wp::ThreadPool::shared().size()) +
+                      " workers)");
     table.add_separator();
-    std::vector<ExperimentRow> rows;
+
+    std::vector<RsConfig> configs;
     for (const std::string conn : {"CU-IC", "CU-RF", "RF-ALU", "RF-DC",
                                    "ALU-CU", "DC-RF"}) {
-      for (int n = 0; n <= 6; n += 2) {
-        RsConfig config{conn + " x" + std::to_string(n), {{conn, n}}};
-        const ExperimentRow row =
-            run_experiment(program, cpu, config, options);
-        rows.push_back(row);
-        table.add_row({conn, std::to_string(n), wp::fmt_fixed(row.th_wp1, 3),
-                       wp::fmt_fixed(row.th_wp2, 3),
-                       wp::fmt_percent(row.improvement),
-                       wp::fmt_fixed(row.static_wp1, 3)});
-      }
+      for (int n = 0; n <= 6; n += 2)
+        configs.push_back({conn + " x" + std::to_string(n), {{conn, n}}});
+    }
+
+    const ParallelSweep sweep(program, cpu, options);
+    const std::vector<ExperimentRow> rows = sweep.run(configs);
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ExperimentRow& row = rows[i];
+      const auto& rs = configs[i].rs;
+      table.add_row({rs.begin()->first, std::to_string(rs.begin()->second),
+                     wp::fmt_fixed(row.th_wp1, 3),
+                     wp::fmt_fixed(row.th_wp2, 3),
+                     wp::fmt_percent(row.improvement),
+                     wp::fmt_fixed(row.static_wp1, 3)});
     }
     table.print(std::cout);
     wp::bench::maybe_write_csv(

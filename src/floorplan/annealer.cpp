@@ -1,10 +1,80 @@
 #include "floorplan/annealer.hpp"
 
 #include <cmath>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wp::fplan {
+
+namespace {
+
+/// The single place the annealing objective is assembled; CostModel (the
+/// search path) and placement_cost (the reporting path) must agree.
+double combine_cost(const AnnealOptions& options, double area, double wl,
+                    double th) {
+  return options.weight_area * area + options.weight_wirelength * wl +
+         options.weight_throughput * (1.0 - th);
+}
+
+/// Memoizing cost evaluator for one annealing run. Area and wirelength are
+/// cheap closed forms; the throughput term means a min-cycle-ratio solve,
+/// so demands are memoized by value. Most moves (accepted or rejected)
+/// leave the per-connection RS demand unchanged or revisit a recent one,
+/// which turns the hot path of a throughput-driven run into a hash lookup.
+class CostModel {
+ public:
+  CostModel(const Instance& inst, const AnnealOptions& options)
+      : inst_(inst), options_(options),
+        use_throughput_(options.weight_throughput > 0.0) {
+    if (use_throughput_) {
+      WP_REQUIRE(static_cast<bool>(options_.throughput_fn),
+                 "throughput weight set but no throughput_fn provided");
+    }
+  }
+
+  double cost(const Placement& placement, AnnealResult* stats) {
+    double th = 1.0;
+    if (use_throughput_) th = throughput(placement, stats);
+    return combine_cost(options_, placement.area(),
+                        total_wirelength(inst_, placement), th);
+  }
+
+ private:
+  double throughput(const Placement& placement, AnnealResult* stats) {
+    const auto demand = rs_demand(inst_, placement, options_.delay_model);
+    std::string key;
+    for (const auto& [label, rs] : demand) {
+      key += label;
+      key += ':';
+      key += std::to_string(rs);
+      key += ';';
+    }
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (stats) ++stats->throughput_cache_hits;
+      return it->second;
+    }
+    const double th = options_.throughput_fn(demand);
+    if (cache_.size() >= kMaxEntries) cache_.clear();
+    cache_.emplace(std::move(key), th);
+    if (stats) ++stats->throughput_evals;
+    return th;
+  }
+
+  static constexpr std::size_t kMaxEntries = 1 << 16;
+
+  const Instance& inst_;
+  const AnnealOptions& options_;
+  const bool use_throughput_;
+  std::unordered_map<std::string, double> cache_;
+};
+
+}  // namespace
 
 double placement_cost(const Instance& inst, const Placement& placement,
                       const AnnealOptions& options, double* area_out,
@@ -21,8 +91,7 @@ double placement_cost(const Instance& inst, const Placement& placement,
   if (area_out) *area_out = area;
   if (wl_out) *wl_out = wl;
   if (th_out) *th_out = th;
-  return options.weight_area * area + options.weight_wirelength * wl +
-         options.weight_throughput * (1.0 - th);
+  return combine_cost(options, area, wl, th);
 }
 
 AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
@@ -31,10 +100,11 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
   wp::Rng rng(options.seed);
 
   AnnealResult best;
+  best.seed = options.seed;
+  CostModel model(inst, options);
   SequencePair current = SequencePair::random(inst.blocks.size(), rng);
   Placement placement = pack(inst, current);
-  double current_cost =
-      placement_cost(inst, placement, options, nullptr, nullptr, nullptr);
+  double current_cost = model.cost(placement, &best);
 
   best.sequence_pair = current;
   best.placement = placement;
@@ -45,8 +115,7 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
   for (int it = 0; it < options.iterations; ++it) {
     const AppliedMove move = random_move(current, rng);
     const Placement candidate = pack(inst, current);
-    const double cost = placement_cost(inst, candidate, options, nullptr,
-                                       nullptr, nullptr);
+    const double cost = model.cost(candidate, &best);
     ++best.evaluations;
     const double delta = cost - current_cost;
     if (delta <= 0 ||
@@ -67,6 +136,31 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
   placement_cost(inst, best.placement, options, &best.area,
                  &best.wirelength, &best.throughput);
   return best;
+}
+
+AnnealResult anneal_parallel(const Instance& inst,
+                             const ParallelAnnealOptions& options) {
+  WP_REQUIRE(options.restarts > 0, "need at least one restart");
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::shared();
+
+  const auto restarts = static_cast<std::size_t>(options.restarts);
+  std::vector<AnnealResult> results(restarts);
+  pool.parallel_for(0, restarts, [&](std::size_t i) {
+    AnnealOptions per_restart = options.base;
+    per_restart.seed = options.base.seed + i;
+    if (options.throughput_factory)
+      per_restart.throughput_fn = options.throughput_factory();
+    results[i] = anneal(inst, per_restart);
+  });
+
+  // Deterministic reduction: scan in seed order, keep strict improvements,
+  // so ties resolve to the lowest seed no matter how the restarts were
+  // scheduled across workers.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < restarts; ++i)
+    if (results[i].cost < results[best].cost) best = i;
+  return std::move(results[best]);
 }
 
 }  // namespace wp::fplan

@@ -5,13 +5,22 @@
 // the ablation of the paper's methodology (bench_floorplan_flow).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "floorplan/model.hpp"
 #include "floorplan/sequence_pair.hpp"
 #include "util/rng.hpp"
 
+namespace wp {
+class ThreadPool;
+}
+
 namespace wp::fplan {
+
+/// Signature of the system-throughput oracle the annealer consults.
+using ThroughputFn = std::function<double(
+    const std::vector<std::pair<std::string, int>>& demand)>;
 
 struct AnnealOptions {
   double weight_area = 1.0;
@@ -20,9 +29,7 @@ struct AnnealOptions {
   double weight_throughput = 0.0;
   /// Computes the system throughput from per-connection RS demand; required
   /// when weight_throughput > 0 (typically graph min-cycle-ratio).
-  std::function<double(
-      const std::vector<std::pair<std::string, int>>& demand)>
-      throughput_fn;
+  ThroughputFn throughput_fn;
   WireDelayModel delay_model;
 
   int iterations = 20000;
@@ -40,10 +47,38 @@ struct AnnealResult {
   double throughput = 1.0;  ///< only meaningful when throughput_fn is set
   int accepted_moves = 0;
   int evaluations = 0;
+  /// Full throughput-oracle calls vs. demands served from the memo cache;
+  /// most rejected moves leave the RS demand untouched, so the expensive
+  /// min-cycle-ratio query is skipped for them.
+  int throughput_evals = 0;
+  int throughput_cache_hits = 0;
+  std::uint64_t seed = 0;  ///< seed this restart ran with
 };
 
 /// Runs the annealer from a random start.
 AnnealResult anneal(const Instance& inst, const AnnealOptions& options);
+
+struct ParallelAnnealOptions {
+  /// Options shared by every restart. Restart i runs with seed
+  /// `base.seed + i`, so the restart set is reproducible from one master
+  /// seed and matches the equivalent sequential best-of loop exactly.
+  AnnealOptions base;
+  int restarts = 8;
+  /// Pool to fan the restarts over; nullptr uses ThreadPool::shared().
+  ThreadPool* pool = nullptr;
+  /// When set, called once per restart to build a private throughput
+  /// oracle, overriding base.throughput_fn. Required for stateful oracles
+  /// (e.g. graph::ThroughputEvaluator with its warm-started Howard policy),
+  /// which must not be shared across worker threads.
+  std::function<ThroughputFn()> throughput_factory;
+};
+
+/// Runs `restarts` independently-seeded annealing restarts on the pool and
+/// returns the best result. Selection is deterministic: strictly lower cost
+/// wins, ties go to the lowest seed — bit-identical to running the restarts
+/// sequentially through anneal() and reducing in seed order.
+AnnealResult anneal_parallel(const Instance& inst,
+                             const ParallelAnnealOptions& options);
 
 /// Evaluates the cost terms of one placement under the options (exposed for
 /// tests and reporting).

@@ -146,7 +146,26 @@ CycleRatioResult min_cycle_ratio_lawler(const Digraph& g, double epsilon) {
   return result;
 }
 
+bool HowardState::valid_for(const Digraph& g) const {
+  const int n = g.num_nodes();
+  if (static_cast<int>(policy.size()) != n) return false;
+  for (NodeId v = 0; v < n; ++v) {
+    const EdgeId e = policy[static_cast<std::size_t>(v)];
+    if (g.out_edges(v).empty()) {
+      if (e != -1) return false;
+    } else {
+      if (e < 0 || e >= g.num_edges() || g.edge(e).src != v) return false;
+    }
+  }
+  return true;
+}
+
 CycleRatioResult min_cycle_ratio_howard(const Digraph& g) {
+  return min_cycle_ratio_howard(g, nullptr);
+}
+
+CycleRatioResult min_cycle_ratio_howard(const Digraph& g,
+                                        HowardState* state) {
   CycleRatioResult result;
   const int n = g.num_nodes();
   if (n == 0 || !has_any_cycle(g)) return result;
@@ -154,9 +173,16 @@ CycleRatioResult min_cycle_ratio_howard(const Digraph& g) {
 
   // Work on the subgraph of nodes with out-edges; nodes without successors
   // cannot lie on a cycle and take value +inf.
-  std::vector<EdgeId> policy(static_cast<std::size_t>(n), -1);
-  for (NodeId v = 0; v < n; ++v)
-    if (!g.out_edges(v).empty()) policy[static_cast<std::size_t>(v)] = g.out_edges(v).front();
+  auto default_policy = [&g, n]() {
+    std::vector<EdgeId> p(static_cast<std::size_t>(n), -1);
+    for (NodeId v = 0; v < n; ++v)
+      if (!g.out_edges(v).empty())
+        p[static_cast<std::size_t>(v)] = g.out_edges(v).front();
+    return p;
+  };
+  bool warm_started = state != nullptr && state->valid_for(g);
+  std::vector<EdgeId> policy =
+      warm_started ? state->policy : default_policy();
 
   auto edge_cost = [&](EdgeId e) {
     return static_cast<double>(g.edge(e).tokens);
@@ -206,6 +232,14 @@ CycleRatioResult min_cycle_ratio_howard(const Digraph& g) {
           best_cycle = std::move(cycle);
         }
       }
+    }
+    if (best_ratio == kInf && warm_started) {
+      // A stale warm policy can route every chain into a dead end even
+      // though the graph has cycles; rebuild from scratch and retry.
+      warm_started = false;
+      policy = default_policy();
+      --iteration;
+      continue;
     }
     WP_CHECK(best_ratio < kInf, "Howard: policy graph has no cycle");
 
@@ -257,6 +291,7 @@ CycleRatioResult min_cycle_ratio_howard(const Digraph& g) {
 
   result.ratio = exact_ratio_of_cycle(g, best_cycle);
   result.critical_cycle = std::move(best_cycle);
+  if (state != nullptr) state->policy = std::move(policy);
 
   // Certify optimality: no cycle may have a strictly smaller ratio. Policy
   // iteration with a single global ratio can stall on multi-chain policy

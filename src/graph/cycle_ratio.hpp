@@ -45,6 +45,22 @@ CycleRatioResult min_cycle_ratio_lawler(const Digraph& g,
 /// Howard's policy-iteration algorithm.
 CycleRatioResult min_cycle_ratio_howard(const Digraph& g);
 
+/// Reusable policy for warm-starting Howard across a family of structurally
+/// identical graphs (same nodes and edge ids, varying relay-station counts —
+/// exactly what annealing moves and RS sweeps produce). A state whose shape
+/// no longer matches the graph is ignored and rebuilt.
+struct HowardState {
+  std::vector<EdgeId> policy;  ///< per-node chosen out-edge; -1 = none
+
+  bool valid_for(const Digraph& g) const;
+};
+
+/// Howard's algorithm, seeding the initial policy from `state` when it fits
+/// the graph and saving the converged policy back. Neighboring evaluations
+/// (one annealing move, one sweep step) barely perturb the critical cycle,
+/// so the warmed policy usually certifies within an iteration or two.
+CycleRatioResult min_cycle_ratio_howard(const Digraph& g, HowardState* state);
+
 /// Karp's minimum cycle mean over edge weights w(e) = value. Returns
 /// nullopt for acyclic graphs. Included for retiming-style analyses and as
 /// an independently testable classic.

@@ -1,7 +1,7 @@
 #include "graph/optimize.hpp"
 
 #include <algorithm>
-#include <bit>
+
 
 #include "graph/cycle_ratio.hpp"
 #include "util/assert.hpp"
@@ -39,7 +39,9 @@ RsOptimizeResult optimize_rs_exhaustive(const RsOptimizeProblem& problem,
   RsOptimizeResult best;
   best.objective = -1.0;
   for (std::uint32_t subset = 0; subset < (1u << n); ++subset) {
-    if (static_cast<int>(std::popcount(subset)) > problem.max_relieved)
+    int bits = 0;
+    for (std::uint32_t rest = subset; rest != 0; rest &= rest - 1) ++bits;
+    if (bits > problem.max_relieved)
       continue;
     std::vector<std::string> relieved;
     for (std::size_t i = 0; i < n; ++i)

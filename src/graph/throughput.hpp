@@ -3,8 +3,11 @@
 // predictions of Table 1.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/cycle_ratio.hpp"
@@ -39,5 +42,41 @@ double system_throughput(const Digraph& g);
 /// the minimum m/(m+n) over the loops that traverse at least one edge with
 /// relay stations. Loops untouched by pipelining run at 1.0.
 double predicted_wp1_throughput(const Digraph& g);
+
+/// Stateful throughput oracle for exploration loops (annealer moves, RS
+/// sweeps): owns a copy of the base graph, applies per-connection relay-
+/// station counts by label, and warm-starts Howard's policy iteration from
+/// the previous query — successive evaluations differ by one move, so the
+/// previous policy is usually one improvement step from certifying.
+///
+/// Returns exactly min_cycle_ratio over the configured graph (Howard is
+/// certified and falls back to the parametric search when the certificate
+/// fails), so warm starts never change a result, only its cost.
+///
+/// Not thread-safe: give each worker thread its own evaluator.
+class ThroughputEvaluator {
+ public:
+  explicit ThroughputEvaluator(Digraph base);
+
+  /// Throughput with per-connection RS counts from `demand`; connections
+  /// not mentioned keep the base graph's counts.
+  double operator()(const std::vector<std::pair<std::string, int>>& demand);
+
+  /// Same, keyed form (the experiment driver's RsConfig::rs shape).
+  double with_rs_map(const std::map<std::string, int>& rs);
+
+  std::uint64_t queries() const { return queries_; }
+
+ private:
+  void reset_rs();
+  void apply(const std::string& label, int relay_stations);
+  double evaluate();
+
+  Digraph g_;
+  std::vector<int> base_rs_;  ///< per-edge counts of the base graph
+  std::unordered_map<std::string, std::vector<EdgeId>> edges_by_label_;
+  HowardState state_;
+  std::uint64_t queries_ = 0;
+};
 
 }  // namespace wp::graph

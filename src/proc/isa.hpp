@@ -45,7 +45,11 @@ struct Instr {
   std::uint8_t rs2 = 0;
   std::int32_t imm = 0;
 
-  bool operator==(const Instr&) const = default;
+  bool operator==(const Instr& o) const {
+    return op == o.op && rd == o.rd && rs1 == o.rs1 && rs2 == o.rs2 &&
+           imm == o.imm;
+  }
+  bool operator!=(const Instr& o) const { return !(*this == o); }
 };
 
 /// Encoding layout inside a 64-bit word:

@@ -286,6 +286,61 @@ TEST(RandomGraphs, RingGraphShape) {
   EXPECT_EQ(g.edge(4).relay_stations, 1);
 }
 
+TEST(HowardWarmStart, MatchesColdStartAcrossMutations) {
+  // Warm-starting from the previous policy must never change the result,
+  // only its cost — sweep relay stations across random graphs and compare
+  // warm Howard against the parametric reference at every step.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    wp::Rng rng(seed);
+    RandomGraphConfig config;
+    config.num_nodes = 8;
+    Digraph g = random_digraph(config, rng);
+    HowardState state;
+    for (int step = 0; step < 12; ++step) {
+      const EdgeId victim =
+          static_cast<EdgeId>(rng.below(static_cast<std::uint64_t>(g.num_edges())));
+      g.edge(victim).relay_stations = static_cast<int>(rng.below(4));
+      const double warm = min_cycle_ratio_howard(g, &state).ratio;
+      const double reference = min_cycle_ratio_lawler(g).ratio;
+      ASSERT_NEAR(warm, reference, 1e-9)
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(HowardWarmStart, StaleStateForDifferentGraphIsIgnored) {
+  const Digraph small = ring_graph(3, {1});
+  HowardState state;
+  const double small_ratio = min_cycle_ratio_howard(small, &state).ratio;
+  EXPECT_NEAR(small_ratio, 3.0 / 6.0, 1e-12);
+  // Same state object against a structurally different graph: must reset,
+  // not crash or mis-answer.
+  const Digraph big = ring_graph(6, {0, 2});
+  const double big_ratio = min_cycle_ratio_howard(big, &state).ratio;
+  EXPECT_NEAR(big_ratio, min_cycle_ratio_lawler(big).ratio, 1e-12);
+}
+
+TEST(ThroughputEvaluator, MatchesFreshSolvesAndResetsBetweenQueries) {
+  Digraph base;
+  base.add_node("a");
+  base.add_node("b");
+  base.add_edge(0, 1, "ab");
+  base.add_edge(1, 0, "ba");
+  ThroughputEvaluator eval(base);
+  // Un-pipelined digon: 2 tokens over latency 2 → Th 1. One RS on ab:
+  // Th = m/(m+n) = 2/3.
+  EXPECT_NEAR(eval({{"ab", 1}}), 2.0 / 3.0, 1e-12);
+  // The previous query's RS counts must not leak into the next one.
+  EXPECT_NEAR(eval({{"ba", 2}}), 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(eval({}), 1.0, 1e-12);
+  // Unknown labels are ignored.
+  EXPECT_NEAR(eval({{"nope", 9}}), 1.0, 1e-12);
+  // The RsConfig-shaped entry point agrees with the demand-vector one.
+  EXPECT_NEAR(eval.with_rs_map({{"ab", 1}}), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(eval.with_rs_map({{"ab", 1}, {"ba", 1}}), 2.0 / 4.0, 1e-12);
+  EXPECT_EQ(eval.queries(), 6u);
+}
+
 TEST(RandomGraphs, EnsuresCycleWhenAsked) {
   wp::Rng rng(7);
   RandomGraphConfig config;
