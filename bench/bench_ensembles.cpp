@@ -1,0 +1,120 @@
+// Topology-ensemble bench: four synthetic SoC families x N seeded samples
+// each, every sample driven through the full methodology pipeline
+// (generate -> dress -> throughput-aware annealed floorplan -> placement
+// RS demand -> min-cycle-ratio throughput), with per-family distribution
+// statistics. The same ensemble runs sequentially and on the thread pool;
+// any bitwise divergence is a determinism bug and fails the run.
+//
+// CSV: writes <prefix>_samples.csv and <prefix>_families.csv (prefix from
+// argv[1], default "bench_ensembles") for the per-commit CI artifact.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "gen/ensemble.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+wp::gen::EnsembleConfig make_config() {
+  using wp::gen::FamilySpec;
+  using wp::gen::TopologyFamily;
+  wp::gen::EnsembleConfig config;
+  config.seed = 2005;
+  config.samples_per_family = 20;
+  config.anneal.iterations = 1500;
+
+  FamilySpec ba;
+  ba.name = "ba-24";
+  ba.topology.family = TopologyFamily::kBarabasiAlbert;
+  ba.topology.num_nodes = 24;
+  ba.topology.ba_attach = 2;
+  config.families.push_back(ba);
+
+  FamilySpec ws;
+  ws.name = "ws-24";
+  ws.topology.family = TopologyFamily::kWattsStrogatz;
+  ws.topology.num_nodes = 24;
+  ws.topology.ws_neighbors = 4;
+  ws.topology.ws_rewire_probability = 0.15;
+  config.families.push_back(ws);
+
+  FamilySpec torus;
+  torus.name = "torus-5x5";
+  torus.topology.family = TopologyFamily::kMesh;
+  torus.topology.num_nodes = 25;
+  torus.topology.mesh_rows = 5;
+  torus.topology.mesh_cols = 5;
+  torus.topology.mesh_torus = true;
+  config.families.push_back(torus);
+
+  FamilySpec cer;
+  cer.name = "cer-24x4";
+  cer.topology.family = TopologyFamily::kClusteredErdosRenyi;
+  cer.topology.num_nodes = 24;
+  cer.topology.er_clusters = 4;
+  cer.topology.er_intra_probability = 0.3;
+  cer.topology.er_inter_probability = 0.03;
+  config.families.push_back(cer);
+
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wp;
+
+  const gen::EnsembleConfig config = make_config();
+  std::cout << "Topology ensemble: " << config.families.size()
+            << " families x " << config.samples_per_family
+            << " samples, full floorplan->RS->throughput pipeline, "
+            << ThreadPool::shared().size() << " pool workers\n\n";
+
+  const auto sequential_start = Clock::now();
+  const gen::EnsembleReport sequential = gen::run_ensemble_sequential(config);
+  const double sequential_s = seconds_since(sequential_start);
+
+  const auto parallel_start = Clock::now();
+  const gen::EnsembleReport parallel = gen::run_ensemble(config);
+  const double parallel_s = seconds_since(parallel_start);
+
+  const bool identical = sequential.samples == parallel.samples;
+
+  TextTable table({"family", "samples", "Th mean", "Th median", "Th p95",
+                   "Th min", "RS mean", "cycles mean", "area mean"});
+  table.add_separator();
+  for (const auto& f : parallel.families)
+    table.add_row({f.family, std::to_string(f.samples),
+                   fmt_fixed(f.th_mean, 3), fmt_fixed(f.th_median, 3),
+                   fmt_fixed(f.th_p95, 3), fmt_fixed(f.th_min, 3),
+                   fmt_fixed(f.rs_mean, 1), fmt_fixed(f.cycles_mean, 1),
+                   fmt_fixed(f.area_mean, 1)});
+  table.print(std::cout);
+
+  std::cout << "sequential " << fmt_fixed(sequential_s, 2) << " s, pooled "
+            << fmt_fixed(parallel_s, 2) << " s (speedup "
+            << fmt_fixed(sequential_s / parallel_s, 2)
+            << "x)   sequential == pooled: "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+  const std::string prefix = argc > 1 ? argv[1] : "bench_ensembles";
+  {
+    std::ofstream samples(prefix + "_samples.csv");
+    gen::write_samples_csv(parallel, samples);
+    std::ofstream families(prefix + "_families.csv");
+    gen::write_families_csv(parallel, families);
+  }
+  std::cout << "wrote " << prefix << "_samples.csv ("
+            << parallel.samples.size() << " rows) and " << prefix
+            << "_families.csv\n";
+
+  return identical ? 0 : 1;
+}

@@ -7,7 +7,6 @@
 #include "core/procs.hpp"
 #include "core/system.hpp"
 #include "graph/cycle_ratio.hpp"
-#include "graph/random_graphs.hpp"
 #include "util/table.hpp"
 
 namespace {

@@ -6,7 +6,7 @@
 #include "core/system.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/cycles.hpp"
-#include "graph/random_graphs.hpp"
+#include "gen/topologies.hpp"
 #include "proc/experiment.hpp"
 #include "util/rng.hpp"
 
@@ -68,10 +68,10 @@ BENCHMARK(BM_CpuWp2Sort)->Arg(1)->Arg(2);
 
 void BM_JohnsonCycles(benchmark::State& state) {
   wp::Rng rng(5);
-  wp::graph::RandomGraphConfig config;
+  wp::gen::RandomGraphConfig config;
   config.num_nodes = static_cast<int>(state.range(0));
   config.edge_probability = 0.15;
-  const auto g = wp::graph::random_digraph(config, rng);
+  const auto g = wp::gen::random_digraph(config, rng);
   for (auto _ : state)
     benchmark::DoNotOptimize(wp::graph::enumerate_cycles(g, 5000000));
 }
@@ -79,10 +79,10 @@ BENCHMARK(BM_JohnsonCycles)->Arg(6)->Arg(9)->Arg(12);
 
 void BM_MinCycleRatio(benchmark::State& state) {
   wp::Rng rng(9);
-  wp::graph::RandomGraphConfig config;
+  wp::gen::RandomGraphConfig config;
   config.num_nodes = static_cast<int>(state.range(0));
   config.edge_probability = 0.1;
-  const auto g = wp::graph::random_digraph(config, rng);
+  const auto g = wp::gen::random_digraph(config, rng);
   if (state.range(1) == 0) {
     for (auto _ : state)
       benchmark::DoNotOptimize(wp::graph::min_cycle_ratio_lawler(g));

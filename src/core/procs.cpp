@@ -111,7 +111,9 @@ RandomMooreProcess::RandomMooreProcess(std::string name,
                                        std::size_t num_states, Rng& rng,
                                        bool use_peek_gate)
     : Process(std::move(name)), use_peek_gate_(use_peek_gate) {
-  WP_REQUIRE(num_inputs >= 1 && num_inputs <= 8, "1..8 inputs supported");
+  // 32 is the InputMask width; scale-free topology hubs (gen/) get here
+  // with fan-ins well past the old cap of 8.
+  WP_REQUIRE(num_inputs >= 1 && num_inputs <= 32, "1..32 inputs supported");
   WP_REQUIRE(num_outputs >= 1, "need at least one output");
   WP_REQUIRE(num_states >= 1, "need at least one state");
   for (std::size_t i = 0; i < num_inputs; ++i)
@@ -122,11 +124,14 @@ RandomMooreProcess::RandomMooreProcess(std::string name,
 
   gate_input_ = static_cast<std::size_t>(rng.below(num_inputs));
   const InputMask all = all_inputs_mask(num_inputs);
+  // Widen before the +1: at 32 inputs `all` is 0xFFFFFFFF and the uint32
+  // sum would wrap to a zero bound.
+  const std::uint64_t mask_bound = static_cast<std::uint64_t>(all) + 1;
   table_.resize(num_states);
   for (auto& entry : table_) {
-    entry.base_mask = static_cast<InputMask>(rng.below(all + 1));
+    entry.base_mask = static_cast<InputMask>(rng.below(mask_bound));
     if (use_peek_gate_) entry.base_mask |= InputMask{1} << gate_input_;
-    entry.extra_mask = static_cast<InputMask>(rng.below(all + 1)) & all;
+    entry.extra_mask = static_cast<InputMask>(rng.below(mask_bound)) & all;
   }
 }
 

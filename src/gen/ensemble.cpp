@@ -1,0 +1,188 @@
+#include "gen/ensemble.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "graph/cycles.hpp"
+#include "graph/throughput.hpp"
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wp::gen {
+
+namespace {
+
+/// Arithmetic (not stream-dependent) per-sample seed, so sequential and
+/// pooled runs derive identical streams in any execution order.
+std::uint64_t sample_seed(const EnsembleConfig& config,
+                          std::size_t family_index, int sample) {
+  const std::uint64_t lane =
+      family_index * 1000003ULL + static_cast<std::uint64_t>(sample) + 1ULL;
+  return config.seed + 0x9e3779b97f4a7c15ULL * lane;
+}
+
+SampleResult run_sample(const EnsembleConfig& config,
+                        std::size_t family_index, int sample) {
+  const FamilySpec& family = config.families[family_index];
+  SampleResult result;
+  result.family = family.name;
+  result.sample = sample;
+  result.seed = sample_seed(config, family_index, sample);
+
+  Rng rng(result.seed);
+  const graph::Digraph topology =
+      generate_topology(family.topology, rng);
+  const GeneratedSystem sys = dress_topology(topology, family.system, rng);
+  result.nodes = topology.num_nodes();
+  result.edges = topology.num_edges();
+
+  // Throughput must be placement-driven: score against the topology with
+  // its generator RS annotations cleared, then apply the demand the
+  // annealed placement implies.
+  graph::Digraph base = topology;
+  for (graph::EdgeId e = 0; e < base.num_edges(); ++e)
+    base.edge(e).relay_stations = 0;
+  graph::ThroughputEvaluator evaluator(std::move(base));
+
+  fplan::AnnealOptions options = config.anneal;
+  options.seed = result.seed;
+  options.throughput_fn =
+      [&evaluator](const std::vector<std::pair<std::string, int>>& demand) {
+        return evaluator(demand);
+      };
+  const fplan::AnnealResult annealed = fplan::anneal(sys.instance, options);
+  result.area = annealed.area;
+  result.wirelength = annealed.wirelength;
+
+  const auto demand =
+      fplan::rs_demand(sys.instance, annealed.placement, options.delay_model);
+  for (const auto& [connection, rs] : demand) {
+    (void)connection;
+    result.total_rs += rs;
+  }
+  result.throughput = evaluator(demand);
+
+  if (config.max_cycle_enumeration == 0) {
+    result.cycles = -1;
+  } else {
+    try {
+      result.cycles = static_cast<long long>(
+          graph::enumerate_cycles(topology, config.max_cycle_enumeration)
+              .size());
+    } catch (const ContractViolation&) {
+      result.cycles = -1;  // count explosion, not an error
+    }
+  }
+  return result;
+}
+
+std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
+                                   const std::vector<SampleResult>& samples) {
+  std::vector<FamilyStats> families;
+  const auto per_family = static_cast<std::size_t>(
+      std::max(config.samples_per_family, 0));
+  for (std::size_t f = 0; f < config.families.size(); ++f) {
+    FamilyStats stats;
+    stats.family = config.families[f].name;
+    RunningStats th, rs, area, wl, cycles;
+    std::vector<double> th_values;
+    for (std::size_t i = f * per_family; i < (f + 1) * per_family; ++i) {
+      const SampleResult& s = samples[i];
+      th.add(s.throughput);
+      th_values.push_back(s.throughput);
+      rs.add(static_cast<double>(s.total_rs));
+      area.add(s.area);
+      wl.add(s.wirelength);
+      if (s.cycles >= 0) cycles.add(static_cast<double>(s.cycles));
+    }
+    stats.samples = th.count();
+    if (stats.samples > 0) {
+      stats.th_mean = th.mean();
+      stats.th_median = percentile(th_values, 50.0);
+      stats.th_p95 = percentile(th_values, 95.0);
+      stats.th_min = th.min();
+      stats.th_max = th.max();
+      stats.rs_mean = rs.mean();
+      stats.area_mean = area.mean();
+      stats.wirelength_mean = wl.mean();
+    }
+    stats.cycles_counted = cycles.count();
+    if (stats.cycles_counted > 0) stats.cycles_mean = cycles.mean();
+    families.push_back(std::move(stats));
+  }
+  return families;
+}
+
+EnsembleReport run_jobs(const EnsembleConfig& config, ThreadPool* pool) {
+  WP_REQUIRE(!config.families.empty(), "ensemble needs at least one family");
+  WP_REQUIRE(config.samples_per_family > 0,
+             "samples_per_family must be > 0");
+  const std::size_t total =
+      config.families.size() *
+      static_cast<std::size_t>(config.samples_per_family);
+  EnsembleReport report;
+  report.samples.resize(total);
+  const auto per_family =
+      static_cast<std::size_t>(config.samples_per_family);
+  auto body = [&](std::size_t i) {
+    report.samples[i] = run_sample(config, i / per_family,
+                                   static_cast<int>(i % per_family));
+  };
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < total; ++i) body(i);
+  } else {
+    pool->parallel_for(0, total, body);
+  }
+  report.families = aggregate(config, report.samples);
+  return report;
+}
+
+}  // namespace
+
+bool SampleResult::operator==(const SampleResult& other) const {
+  return family == other.family && sample == other.sample &&
+         seed == other.seed && nodes == other.nodes &&
+         edges == other.edges && cycles == other.cycles &&
+         total_rs == other.total_rs && area == other.area &&
+         wirelength == other.wirelength && throughput == other.throughput;
+}
+
+EnsembleReport run_ensemble(const EnsembleConfig& config, ThreadPool* pool) {
+  return run_jobs(config, pool == nullptr ? &ThreadPool::shared() : pool);
+}
+
+EnsembleReport run_ensemble_sequential(const EnsembleConfig& config) {
+  return run_jobs(config, nullptr);
+}
+
+void write_samples_csv(const EnsembleReport& report, std::ostream& os) {
+  CsvWriter csv(os);
+  csv.row({"family", "sample", "seed", "nodes", "edges", "cycles",
+           "total_rs", "area_mm2", "wirelength_mm", "throughput"});
+  for (const auto& s : report.samples)
+    csv.row({s.family, std::to_string(s.sample), std::to_string(s.seed),
+             std::to_string(s.nodes), std::to_string(s.edges),
+             std::to_string(s.cycles), std::to_string(s.total_rs),
+             fmt_fixed(s.area, 6), fmt_fixed(s.wirelength, 6),
+             fmt_fixed(s.throughput, 6)});
+}
+
+void write_families_csv(const EnsembleReport& report, std::ostream& os) {
+  CsvWriter csv(os);
+  csv.row({"family", "samples", "th_mean", "th_median", "th_p95", "th_min",
+           "th_max", "rs_mean", "cycles_mean", "cycles_counted", "area_mean",
+           "wirelength_mean"});
+  for (const auto& f : report.families)
+    csv.row({f.family, std::to_string(f.samples), fmt_fixed(f.th_mean, 6),
+             fmt_fixed(f.th_median, 6), fmt_fixed(f.th_p95, 6),
+             fmt_fixed(f.th_min, 6), fmt_fixed(f.th_max, 6),
+             fmt_fixed(f.rs_mean, 3), fmt_fixed(f.cycles_mean, 3),
+             std::to_string(f.cycles_counted), fmt_fixed(f.area_mean, 3),
+             fmt_fixed(f.wirelength_mean, 3)});
+}
+
+}  // namespace wp::gen

@@ -1,0 +1,105 @@
+// Ensemble runner: fans N seeded samples per topology family through the
+// full methodology pipeline — generate topology, dress it into a
+// floorplannable system, anneal a throughput-aware floorplan, derive the
+// placement's relay-station demand, and score the resulting min-cycle-
+// ratio system throughput — then aggregates per-family distribution
+// statistics and writes tidy CSV.
+//
+// Determinism contract: every sample owns an Rng derived arithmetically
+// from (ensemble seed, family index, sample index) and a private
+// ThroughputEvaluator, so the pooled run writes results into input-order
+// slots and is bit-identical to the sequential run under the same config
+// (checked by test_gen and by bench_ensembles on every invocation).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "floorplan/annealer.hpp"
+#include "gen/instances.hpp"
+#include "gen/topologies.hpp"
+
+namespace wp {
+class ThreadPool;
+}
+
+namespace wp::gen {
+
+/// One family of the ensemble: how to generate and how to dress.
+struct FamilySpec {
+  std::string name;  ///< CSV/report key, e.g. "ba-32"
+  TopologyConfig topology;
+  SystemConfig system;
+};
+
+struct EnsembleConfig {
+  std::vector<FamilySpec> families;
+  int samples_per_family = 20;
+  std::uint64_t seed = 1;
+  /// Per-sample annealing job; seed and throughput_fn are overridden per
+  /// sample (private evaluator). weight_throughput > 0 makes the
+  /// floorplanner fight for loop throughput, the paper's methodology.
+  fplan::AnnealOptions anneal;
+  /// Johnson cycle-enumeration cap for the per-sample cycle count; graphs
+  /// whose elementary-cycle count exceeds it record cycles = -1 instead of
+  /// exploding. 0 skips counting entirely.
+  std::size_t max_cycle_enumeration = 20000;
+
+  EnsembleConfig() {
+    anneal.iterations = 2500;
+    anneal.weight_wirelength = 0.05;
+    anneal.weight_throughput = 50.0;
+  }
+};
+
+/// One topology sample scored through the full pipeline.
+struct SampleResult {
+  std::string family;
+  int sample = 0;
+  std::uint64_t seed = 0;      ///< the derived per-sample seed
+  int nodes = 0;
+  int edges = 0;
+  long long cycles = 0;        ///< elementary cycles; -1 = over the cap
+  int total_rs = 0;            ///< placement-implied relay stations, summed
+  double area = 0.0;           ///< annealed bounding-box area (mm^2)
+  double wirelength = 0.0;     ///< annealed HPWL (mm)
+  double throughput = 1.0;     ///< min cycle ratio under the derived RS
+
+  bool operator==(const SampleResult& other) const;
+};
+
+/// Per-family distribution statistics over the sample set.
+struct FamilyStats {
+  std::string family;
+  std::size_t samples = 0;
+  double th_mean = 0.0;
+  double th_median = 0.0;
+  double th_p95 = 0.0;
+  double th_min = 0.0;
+  double th_max = 0.0;
+  double rs_mean = 0.0;        ///< mean total relay stations
+  double cycles_mean = 0.0;    ///< over samples whose count completed
+  std::size_t cycles_counted = 0;
+  double area_mean = 0.0;
+  double wirelength_mean = 0.0;
+};
+
+struct EnsembleReport {
+  std::vector<SampleResult> samples;  ///< family-major, sample order
+  std::vector<FamilyStats> families;  ///< config order
+};
+
+/// Runs the whole ensemble on the pool (nullptr = ThreadPool::shared()).
+EnsembleReport run_ensemble(const EnsembleConfig& config,
+                            ThreadPool* pool = nullptr);
+
+/// The plain-loop reference: bit-identical results to run_ensemble().
+EnsembleReport run_ensemble_sequential(const EnsembleConfig& config);
+
+/// Tidy CSV, one row per sample / per family (with header row).
+void write_samples_csv(const EnsembleReport& report, std::ostream& os);
+void write_families_csv(const EnsembleReport& report, std::ostream& os);
+
+}  // namespace wp::gen

@@ -1,0 +1,52 @@
+// Dresses a generated topology into a complete synthetic system: a
+// floorplannable instance (one hard block per process, extents sampled
+// from configurable area/aspect distributions, one net per channel keyed
+// by the edge label) plus a core netlist-language description whose
+// processes are RandomMooreProcess blocks sized to the node's fan-in/out —
+// parseable by core parse_system() with the default registry, so a
+// generated system can be floorplanned, RS-annotated AND simulated.
+#pragma once
+
+#include <string>
+
+#include "floorplan/model.hpp"
+#include "gen/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace wp::gen {
+
+/// Block-extent sampling: area log-uniform in [min_area_mm2, max_area_mm2]
+/// (SoC block areas span decades, so uniform-in-log), aspect ratio
+/// (width/height) uniform in [min_aspect, max_aspect].
+struct BlockDistribution {
+  double min_area_mm2 = 0.5;
+  double max_area_mm2 = 6.0;
+  double min_aspect = 0.5;
+  double max_aspect = 2.0;
+};
+
+struct SystemConfig {
+  std::string name = "gen";
+  BlockDistribution blocks;
+  /// States per generated randommoore process in the netlist.
+  int moore_states = 4;
+};
+
+/// The three coupled views of one synthetic system. Nets and netlist
+/// channels carry connection=<edge label>, so floorplan-derived RS demand
+/// flows into both the throughput evaluator and the simulator unchanged.
+struct GeneratedSystem {
+  graph::Digraph topology;   ///< the dressed topology (copied from input)
+  fplan::Instance instance;  ///< blocks + nets for the floorplanner
+  std::string netlist;       ///< core netlist text (default_registry types)
+};
+
+/// Requires every node to have in-degree in [1, 32] and out-degree >= 1
+/// (RandomMooreProcess port limits) — guaranteed by generators run with
+/// ensure_strongly_connected. Deterministic in rng. The netlist's rs=
+/// annotations mirror the topology's edge counts; the ensemble pipeline
+/// overrides them with placement-derived demand.
+GeneratedSystem dress_topology(const graph::Digraph& topology,
+                               const SystemConfig& config, Rng& rng);
+
+}  // namespace wp::gen

@@ -10,9 +10,9 @@
 #include "graph/cycle_ratio.hpp"
 #include "graph/cycles.hpp"
 #include "graph/digraph.hpp"
+#include "gen/topologies.hpp"
 #include "graph/dot.hpp"
 #include "graph/optimize.hpp"
-#include "graph/random_graphs.hpp"
 #include "graph/throughput.hpp"
 
 namespace wp::graph {
@@ -94,7 +94,7 @@ TEST(Cycles, ToStringNamesNodes) {
 TEST(CycleRatio, RingFormula) {
   for (int m : {1, 2, 3, 6}) {
     for (int n : {0, 1, 2, 5}) {
-      Digraph g = ring_graph(m, {0});
+      Digraph g = gen::ring_graph(m, {0});
       g.edge(0).relay_stations = n;
       const double expected =
           static_cast<double>(m) / static_cast<double>(m + n);
@@ -137,11 +137,11 @@ class McrCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(McrCrossCheck, SolversAgreeOnRandomGraphs) {
   wp::Rng rng(GetParam());
-  RandomGraphConfig config;
+  gen::RandomGraphConfig config;
   config.num_nodes = static_cast<int>(rng.range(3, 10));
   config.edge_probability = 0.25;
   config.max_relay_stations = 4;
-  const Digraph g = random_digraph(config, rng);
+  const Digraph g = gen::random_digraph(config, rng);
   const auto exhaustive = min_cycle_ratio_exhaustive(g, 500000);
   const auto lawler = min_cycle_ratio_lawler(g);
   const auto howard = min_cycle_ratio_howard(g);
@@ -184,10 +184,10 @@ class KarpVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(KarpVsBruteForce, MatchesEnumeration) {
   wp::Rng rng(GetParam());
-  RandomGraphConfig config;
+  gen::RandomGraphConfig config;
   config.num_nodes = 7;
   config.edge_probability = 0.3;
-  const Digraph g = random_digraph(config, rng);
+  const Digraph g = gen::random_digraph(config, rng);
   std::vector<double> w;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     (void)e;
@@ -208,7 +208,7 @@ INSTANTIATE_TEST_SUITE_P(Random, KarpVsBruteForce,
                          ::testing::Range<std::uint64_t>(50, 70));
 
 TEST(Throughput, ReportSortsWorstFirst) {
-  Digraph g = ring_graph(2, {1, 0});  // 2-ring with 1 RS total
+  Digraph g = gen::ring_graph(2, {1, 0});  // 2-ring with 1 RS total
   g.add_node("solo");
   g.add_edge(2, 2, "self");  // Th 1.0 self-loop
   const auto report = analyze_throughput(g);
@@ -223,7 +223,7 @@ TEST(Throughput, ReportSortsWorstFirst) {
 TEST(Optimizer, ExhaustiveFindsBestRelief) {
   // Ring of 3 with demand 2 RS each; relieving one edge to 0 is best and
   // relieving two is better still.
-  Digraph g = ring_graph(3, {0});
+  Digraph g = gen::ring_graph(3, {0});
   for (EdgeId e = 0; e < g.num_edges(); ++e)
     g.edge(e).label = "c" + std::to_string(e);
   RsOptimizeProblem problem;
@@ -238,7 +238,7 @@ TEST(Optimizer, ExhaustiveFindsBestRelief) {
 }
 
 TEST(Optimizer, GreedyMatchesExhaustiveHere) {
-  Digraph g = ring_graph(4, {0});
+  Digraph g = gen::ring_graph(4, {0});
   for (EdgeId e = 0; e < g.num_edges(); ++e)
     g.edge(e).label = "c" + std::to_string(e);
   RsOptimizeProblem problem;
@@ -254,7 +254,7 @@ TEST(Optimizer, GreedyMatchesExhaustiveHere) {
 }
 
 TEST(Optimizer, ZeroBudgetKeepsDemand) {
-  Digraph g = ring_graph(2, {0});
+  Digraph g = gen::ring_graph(2, {0});
   g.edge(0).label = "x";
   g.edge(1).label = "y";
   RsOptimizeProblem problem;
@@ -267,7 +267,7 @@ TEST(Optimizer, ZeroBudgetKeepsDemand) {
 }
 
 TEST(Dot, ContainsNodesEdgesAndCriticalHighlight) {
-  Digraph g = ring_graph(2, {1});
+  Digraph g = gen::ring_graph(2, {1});
   g.edge(0).label = "hot";
   const std::string dot = to_dot(g, {"title", true, true});
   EXPECT_NE(dot.find("digraph"), std::string::npos);
@@ -277,7 +277,7 @@ TEST(Dot, ContainsNodesEdgesAndCriticalHighlight) {
 }
 
 TEST(RandomGraphs, RingGraphShape) {
-  const Digraph g = ring_graph(5, {1, 2});
+  const Digraph g = gen::ring_graph(5, {1, 2});
   EXPECT_EQ(g.num_nodes(), 5);
   EXPECT_EQ(g.num_edges(), 5);
   // Pattern 1,2 repeats cyclically.
@@ -292,9 +292,9 @@ TEST(HowardWarmStart, MatchesColdStartAcrossMutations) {
   // warm Howard against the parametric reference at every step.
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     wp::Rng rng(seed);
-    RandomGraphConfig config;
+    gen::RandomGraphConfig config;
     config.num_nodes = 8;
-    Digraph g = random_digraph(config, rng);
+    Digraph g = gen::random_digraph(config, rng);
     HowardState state;
     for (int step = 0; step < 12; ++step) {
       const EdgeId victim =
@@ -309,13 +309,13 @@ TEST(HowardWarmStart, MatchesColdStartAcrossMutations) {
 }
 
 TEST(HowardWarmStart, StaleStateForDifferentGraphIsIgnored) {
-  const Digraph small = ring_graph(3, {1});
+  const Digraph small = gen::ring_graph(3, {1});
   HowardState state;
   const double small_ratio = min_cycle_ratio_howard(small, &state).ratio;
   EXPECT_NEAR(small_ratio, 3.0 / 6.0, 1e-12);
   // Same state object against a structurally different graph: must reset,
   // not crash or mis-answer.
-  const Digraph big = ring_graph(6, {0, 2});
+  const Digraph big = gen::ring_graph(6, {0, 2});
   const double big_ratio = min_cycle_ratio_howard(big, &state).ratio;
   EXPECT_NEAR(big_ratio, min_cycle_ratio_lawler(big).ratio, 1e-12);
 }
@@ -343,11 +343,11 @@ TEST(ThroughputEvaluator, MatchesFreshSolvesAndResetsBetweenQueries) {
 
 TEST(RandomGraphs, EnsuresCycleWhenAsked) {
   wp::Rng rng(7);
-  RandomGraphConfig config;
+  gen::RandomGraphConfig config;
   config.num_nodes = 6;
   config.edge_probability = 0.0;
   config.ensure_cycle = true;
-  const Digraph g = random_digraph(config, rng);
+  const Digraph g = gen::random_digraph(config, rng);
   EXPECT_FALSE(enumerate_cycles(g).empty());
 }
 

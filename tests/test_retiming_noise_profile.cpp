@@ -10,7 +10,7 @@
 #include "core/stall_injector.hpp"
 #include "core/system.hpp"
 #include "graph/cycle_ratio.hpp"
-#include "graph/random_graphs.hpp"
+#include "gen/topologies.hpp"
 #include "graph/retiming.hpp"
 #include "proc/blocks.hpp"
 #include "proc/experiment.hpp"
@@ -38,7 +38,7 @@ TEST(Retiming, ClockPeriodOfSimpleChain) {
 }
 
 TEST(Retiming, DetectsRegisterFreeCycle) {
-  graph::Digraph g = graph::ring_graph(3, {0});
+  graph::Digraph g = gen::ring_graph(3, {0});
   EXPECT_FALSE(graph::clock_period(g, {0, 0, 0}, {1, 1, 1}).has_value());
   EXPECT_TRUE(graph::clock_period(g, {1, 0, 0}, {1, 1, 1}).has_value());
 }
@@ -47,7 +47,7 @@ TEST(Retiming, BalancesARing) {
   // Ring of 4 unit-delay nodes; all 4 registers piled on one edge (tokens 4
   // on edge 0, combinational links elsewhere): original period is 4, a
   // balanced retiming reaches 1.
-  graph::Digraph g = graph::ring_graph(4, {0});
+  graph::Digraph g = gen::ring_graph(4, {0});
   g.edge(0).tokens = 4;
   for (graph::EdgeId e = 1; e < 4; ++e) g.edge(e).tokens = 0;
   const std::vector<double> d{1, 1, 1, 1};
@@ -71,7 +71,7 @@ TEST(Retiming, RingPeriodIsCeilOfDelayOverRegisters) {
   for (const auto& [n, registers, expected] :
        {std::tuple{6, 2, 3.0}, {6, 3, 2.0}, {6, 4, 2.0}, {5, 2, 3.0},
         {8, 8, 1.0}}) {
-    graph::Digraph g = graph::ring_graph(n, {0});
+    graph::Digraph g = gen::ring_graph(n, {0});
     for (graph::EdgeId e = 0; e < g.num_edges(); ++e) g.edge(e).tokens = 0;
     g.edge(0).tokens = registers;
     const std::vector<double> d(static_cast<std::size_t>(n), 1.0);
@@ -86,11 +86,11 @@ TEST(Retiming, LoopRegisterSumsAreInvariant) {
   // a loop's m/(m+n) throughput).
   wp::Rng rng(31);
   for (int trial = 0; trial < 10; ++trial) {
-    graph::RandomGraphConfig config;
+    gen::RandomGraphConfig config;
     config.num_nodes = 6;
     config.edge_probability = 0.25;
     config.max_relay_stations = 3;
-    graph::Digraph g = graph::random_digraph(config, rng);
+    graph::Digraph g = gen::random_digraph(config, rng);
     std::vector<double> d;
     for (int i = 0; i < g.num_nodes(); ++i)
       d.push_back(1.0 + static_cast<double>(rng.below(5)));
@@ -112,11 +112,11 @@ TEST(Retiming, MatchesBruteForceOnSmallGraphs) {
   wp::Rng rng(77);
   int checked = 0;
   for (int trial = 0; trial < 12; ++trial) {
-    graph::RandomGraphConfig config;
+    gen::RandomGraphConfig config;
     config.num_nodes = 4;
     config.edge_probability = 0.3;
     config.max_relay_stations = 2;
-    graph::Digraph g = graph::random_digraph(config, rng);
+    graph::Digraph g = gen::random_digraph(config, rng);
     // Sprinkle in combinational links (tokens 0) on the non-ring chords so
     // retiming has registers to move; keep the ring registered so at least
     // one legal weighting exists.

@@ -130,6 +130,48 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(percentile(data, 100), 5.0);
 }
 
+// The ensemble aggregator leans on the percentile edge cases: empty and
+// out-of-range inputs must throw loudly, a single sample is every
+// percentile of itself, and nearest-rank handles ties/p95 predictably.
+TEST(Stats, PercentileContract) {
+  EXPECT_THROW(percentile({}, 50), ContractViolation);
+  EXPECT_THROW(percentile({1.0, 2.0}, -0.5), ContractViolation);
+  EXPECT_THROW(percentile({1.0, 2.0}, 100.5), ContractViolation);
+
+  for (double p : {0.0, 37.0, 50.0, 95.0, 100.0})
+    EXPECT_DOUBLE_EQ(percentile({4.25}, p), 4.25);
+
+  const std::vector<double> ties{2, 2, 2, 2, 9};
+  EXPECT_DOUBLE_EQ(percentile(ties, 50), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(ties, 79), 2.0);   // rank 4 of 5 is still a 2
+  EXPECT_DOUBLE_EQ(percentile(ties, 81), 9.0);   // rank 5 crosses the tie
+  EXPECT_DOUBLE_EQ(percentile(ties, 100), 9.0);
+
+  // Nearest-rank p95 on 20 samples picks the 19th order statistic.
+  std::vector<double> twenty;
+  for (int i = 1; i <= 20; ++i) twenty.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile(twenty, 95), 19.0);
+  EXPECT_DOUBLE_EQ(percentile(twenty, 95.1), 20.0);
+}
+
+TEST(Stats, SingleSampleSummary) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 3.5);
+}
+
+TEST(Stats, TiedSamplesHaveZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 4; ++i) s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
 TEST(Stats, GeomeanOfPowers) {
   EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
   EXPECT_THROW(geomean({1.0, 0.0}), ContractViolation);
