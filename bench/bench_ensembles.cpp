@@ -6,10 +6,15 @@
 // any bitwise divergence is a determinism bug and fails the run.
 //
 // CSV: writes <prefix>_samples.csv and <prefix>_families.csv (prefix from
-// argv[1], default "bench_ensembles") for the per-commit CI artifact.
+// the first non-flag argument, default "bench_ensembles") for the
+// per-commit CI artifact. Passing --large additionally runs a 128-node
+// scale-free family — the regime the fast packing engine unlocks — and
+// writes <prefix>_large_*.csv; the per-sample anneal_ms CSV column makes
+// the packing speedup visible in the artifact.
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "gen/ensemble.hpp"
 #include "util/table.hpp"
@@ -67,17 +72,33 @@ wp::gen::EnsembleConfig make_config() {
   return config;
 }
 
-}  // namespace
+/// The scale regime the incremental packing engine unlocks: one 128-node
+/// scale-free family through the same pipeline. Gated behind --large
+/// because it dominates the bench's wall-clock.
+wp::gen::EnsembleConfig make_large_config() {
+  using wp::gen::FamilySpec;
+  using wp::gen::TopologyFamily;
+  wp::gen::EnsembleConfig config;
+  config.seed = 2006;
+  config.samples_per_family = 6;
+  config.anneal.iterations = 800;
+  // Johnson enumeration explodes at this scale; skip the cycle census.
+  config.max_cycle_enumeration = 0;
 
-int main(int argc, char** argv) {
+  FamilySpec ba;
+  ba.name = "ba-128";
+  ba.topology.family = TopologyFamily::kBarabasiAlbert;
+  ba.topology.num_nodes = 128;
+  ba.topology.ba_attach = 2;
+  config.families.push_back(ba);
+  return config;
+}
+
+/// Runs one config sequentially and pooled, prints the family table, writes
+/// the CSVs, and returns whether the two runs were bit-identical.
+bool run_and_report(const wp::gen::EnsembleConfig& config,
+                    const std::string& prefix) {
   using namespace wp;
-
-  const gen::EnsembleConfig config = make_config();
-  std::cout << "Topology ensemble: " << config.families.size()
-            << " families x " << config.samples_per_family
-            << " samples, full floorplan->RS->throughput pipeline, "
-            << ThreadPool::shared().size() << " pool workers\n\n";
-
   const auto sequential_start = Clock::now();
   const gen::EnsembleReport sequential = gen::run_ensemble_sequential(config);
   const double sequential_s = seconds_since(sequential_start);
@@ -89,14 +110,16 @@ int main(int argc, char** argv) {
   const bool identical = sequential.samples == parallel.samples;
 
   TextTable table({"family", "samples", "Th mean", "Th median", "Th p95",
-                   "Th min", "RS mean", "cycles mean", "area mean"});
+                   "Th min", "RS mean", "cycles mean", "area mean",
+                   "anneal ms"});
   table.add_separator();
   for (const auto& f : parallel.families)
     table.add_row({f.family, std::to_string(f.samples),
                    fmt_fixed(f.th_mean, 3), fmt_fixed(f.th_median, 3),
                    fmt_fixed(f.th_p95, 3), fmt_fixed(f.th_min, 3),
                    fmt_fixed(f.rs_mean, 1), fmt_fixed(f.cycles_mean, 1),
-                   fmt_fixed(f.area_mean, 1)});
+                   fmt_fixed(f.area_mean, 1),
+                   fmt_fixed(f.anneal_ms_mean, 1)});
   table.print(std::cout);
 
   std::cout << "sequential " << fmt_fixed(sequential_s, 2) << " s, pooled "
@@ -105,7 +128,6 @@ int main(int argc, char** argv) {
             << "x)   sequential == pooled: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
 
-  const std::string prefix = argc > 1 ? argv[1] : "bench_ensembles";
   {
     std::ofstream samples(prefix + "_samples.csv");
     gen::write_samples_csv(parallel, samples);
@@ -114,7 +136,41 @@ int main(int argc, char** argv) {
   }
   std::cout << "wrote " << prefix << "_samples.csv ("
             << parallel.samples.size() << " rows) and " << prefix
-            << "_families.csv\n";
+            << "_families.csv\n\n";
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wp;
+
+  std::string prefix = "bench_ensembles";
+  bool large = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--large")
+      large = true;
+    else
+      prefix = arg;
+  }
+
+  const gen::EnsembleConfig config = make_config();
+  std::cout << "Topology ensemble: " << config.families.size()
+            << " families x " << config.samples_per_family
+            << " samples, full floorplan->RS->throughput pipeline, "
+            << ThreadPool::shared().size() << " pool workers\n\n";
+
+  bool identical = run_and_report(config, prefix);
+
+  if (large) {
+    const gen::EnsembleConfig large_config = make_large_config();
+    std::cout << "Large-scale family (--large): "
+              << large_config.families.front().name << " x "
+              << large_config.samples_per_family
+              << " samples, incremental packing engine\n\n";
+    identical = run_and_report(large_config, prefix + "_large") && identical;
+  }
 
   return identical ? 0 : 1;
 }

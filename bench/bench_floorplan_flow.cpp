@@ -5,11 +5,18 @@
 // annealing, under WP1 and WP2 execution of the real programs.
 //
 // The multi-seed restarts run on the shared thread pool (anneal_parallel),
-// each with a private warm-started Howard throughput oracle.
+// each with a private warm-started Howard throughput oracle. A final
+// section times the packing engines head to head: naive O(n²) pack() vs
+// pack_fast() vs the IncrementalPacker's per-move delta evaluation, plus
+// whole annealing runs under each engine.
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "floorplan/annealer.hpp"
 #include "floorplan/instances.hpp"
+#include "floorplan/pack_engine.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/throughput.hpp"
 #include "proc/experiment.hpp"
@@ -20,9 +27,71 @@ namespace {
 
 using wp::fplan::AnnealOptions;
 using wp::fplan::AnnealResult;
+using wp::fplan::AppliedMove;
+using wp::fplan::IncrementalPacker;
 using wp::fplan::Instance;
+using wp::fplan::PackEngine;
 using wp::fplan::ParallelAnnealOptions;
+using wp::fplan::Placement;
+using wp::fplan::SequencePair;
 using wp::fplan::WireDelayModel;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Times the three packing paths on one instance size. Equality of the
+/// engines is asserted as the timing loops run — the bench doubles as a
+/// smoke differential check (the exhaustive one is test_pack_equivalence).
+void bench_packing_engines(wp::TextTable& table, std::size_t blocks) {
+  const Instance inst = wp::fplan::synthetic_instance(blocks, 11);
+  wp::Rng rng(1);
+
+  const int reps = 200;
+  std::vector<SequencePair> pairs;
+  for (int r = 0; r < reps; ++r)
+    pairs.push_back(SequencePair::random(blocks, rng));
+
+  const auto naive_start = std::chrono::steady_clock::now();
+  double checksum_naive = 0;
+  for (const auto& sp : pairs) checksum_naive += pack(inst, sp).area();
+  const double naive_ms = ms_since(naive_start) / reps;
+
+  const auto fast_start = std::chrono::steady_clock::now();
+  double checksum_fast = 0;
+  for (const auto& sp : pairs) checksum_fast += pack_fast(inst, sp).area();
+  const double fast_ms = ms_since(fast_start) / reps;
+  if (checksum_naive != checksum_fast) {
+    std::cerr << "PACKING ENGINE DIVERGENCE at n=" << blocks << "\n";
+    std::exit(1);
+  }
+
+  // Incremental path: an annealer-shaped move loop, half the moves
+  // rejected (undo + revert).
+  SequencePair sp = SequencePair::random(blocks, rng);
+  IncrementalPacker packer(inst, sp);
+  const int moves = 2000;
+  const auto incr_start = std::chrono::steady_clock::now();
+  double checksum_incr = 0;
+  for (int m = 0; m < moves; ++m) {
+    const AppliedMove move = random_move(sp, rng);
+    checksum_incr += packer.apply(move).area();
+    if (m % 2 == 0) {
+      undo_move(sp, move);
+      packer.revert();
+    }
+  }
+  const double incr_us = ms_since(incr_start) * 1000.0 / moves;
+  (void)checksum_incr;
+
+  table.add_row({std::to_string(blocks), wp::fmt_fixed(naive_ms, 3),
+                 wp::fmt_fixed(fast_ms, 3),
+                 wp::fmt_fixed(naive_ms / fast_ms, 1),
+                 wp::fmt_fixed(incr_us, 1),
+                 wp::fmt_fixed(naive_ms * 1000.0 / incr_us, 1)});
+}
 
 double static_throughput_of_demand(
     const wp::graph::Digraph& base,
@@ -135,5 +204,48 @@ int main() {
                    fmt_fixed(th[1], 3)});
   }
   synth.print(std::cout);
+
+  // Packing-engine head-to-head: the O(n²) reference vs the O(n log n)
+  // weighted-LCS evaluation vs the incremental per-move delta path.
+  TextTable packt({"blocks", "naive ms/pack", "fast ms/pack", "fast speedup",
+                   "incr us/move", "move speedup"});
+  packt.add_section("Packing engines (naive O(n^2) vs fast O(n log n) vs "
+                    "incremental delta)");
+  packt.add_separator();
+  for (const std::size_t blocks : {33u, 100u, 150u})
+    bench_packing_engines(packt, blocks);
+  packt.print(std::cout);
+
+  // Whole annealing runs under each engine: the end-to-end effect on the
+  // path both anneal_parallel and the ensemble runner sit on.
+  TextTable annealt({"blocks", "engine", "anneal ms", "speedup"});
+  annealt.add_section("Area-driven anneal, 3000 iterations per run");
+  annealt.add_separator();
+  for (const std::size_t blocks : {33u, 100u, 150u}) {
+    const Instance inst = fplan::synthetic_instance(blocks, 11);
+    double engine_ms[2] = {0, 0};
+    AnnealResult results[2];
+    for (const PackEngine engine : {PackEngine::kNaive, PackEngine::kFast}) {
+      AnnealOptions options;
+      options.iterations = 3000;
+      options.seed = 4;
+      options.pack_engine = engine;
+      const auto start = std::chrono::steady_clock::now();
+      const std::size_t idx = engine == PackEngine::kFast ? 1 : 0;
+      results[idx] = fplan::anneal(inst, options);
+      engine_ms[idx] = ms_since(start);
+      annealt.add_row({std::to_string(blocks),
+                       fplan::pack_engine_name(engine),
+                       fmt_fixed(engine_ms[idx], 1),
+                       idx == 0 ? "1.0"
+                                : fmt_fixed(engine_ms[0] / engine_ms[1], 1)});
+    }
+    if (results[0].cost != results[1].cost ||
+        results[0].placement.x != results[1].placement.x) {
+      std::cerr << "ANNEALER ENGINE DIVERGENCE at n=" << blocks << "\n";
+      return 1;
+    }
+  }
+  annealt.print(std::cout);
   return 0;
 }

@@ -1,11 +1,13 @@
 #include "floorplan/annealer.hpp"
 
 #include <cmath>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "floorplan/pack_engine.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -103,19 +105,35 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
   best.seed = options.seed;
   CostModel model(inst, options);
   SequencePair current = SequencePair::random(inst.blocks.size(), rng);
-  Placement placement = pack(inst, current);
-  double current_cost = model.cost(placement, &best);
+
+  // The fast engine keeps an IncrementalPacker in lockstep with `current`
+  // and delta-evaluates each move; the naive engine re-packs from scratch.
+  // Placements are bit-identical either way, so the accept/reject stream —
+  // and hence the whole trajectory — is engine-independent.
+  const bool fast = options.pack_engine == PackEngine::kFast;
+  std::optional<IncrementalPacker> packer;
+  if (fast) packer.emplace(inst, current);
+  Placement scratch;
+  if (!fast) scratch = pack(inst, current);
+  const Placement* placement = fast ? &packer->placement() : &scratch;
+  double current_cost = model.cost(*placement, &best);
 
   best.sequence_pair = current;
-  best.placement = placement;
+  best.placement = *placement;
   best.cost = current_cost;
 
   double temperature = options.initial_temperature *
                        std::max(current_cost, 1e-9);
   for (int it = 0; it < options.iterations; ++it) {
     const AppliedMove move = random_move(current, rng);
-    const Placement candidate = pack(inst, current);
-    const double cost = model.cost(candidate, &best);
+    const Placement* candidate;
+    if (fast) {
+      candidate = &packer->apply(move);
+    } else {
+      scratch = pack(inst, current);
+      candidate = &scratch;
+    }
+    const double cost = model.cost(*candidate, &best);
     ++best.evaluations;
     const double delta = cost - current_cost;
     if (delta <= 0 ||
@@ -125,10 +143,11 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
       if (cost < best.cost) {
         best.cost = cost;
         best.sequence_pair = current;
-        best.placement = candidate;
+        best.placement = *candidate;
       }
     } else {
       undo_move(current, move);
+      if (fast) packer->revert();
     }
     temperature *= options.cooling;
   }

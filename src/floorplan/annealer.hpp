@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "floorplan/model.hpp"
+#include "floorplan/pack_engine.hpp"
 #include "floorplan/sequence_pair.hpp"
 #include "util/rng.hpp"
 
@@ -36,6 +37,11 @@ struct AnnealOptions {
   double initial_temperature = 1.0;
   double cooling = 0.9995;       ///< geometric cooling per iteration
   std::uint64_t seed = 42;
+  /// Packing implementation for the move loop. Both engines yield
+  /// bit-identical placements (and therefore identical annealing
+  /// trajectories under a fixed seed); kFast delta-evaluates moves with the
+  /// IncrementalPacker instead of re-running the O(n²) relaxation.
+  PackEngine pack_engine = PackEngine::kFast;
 };
 
 struct AnnealResult {

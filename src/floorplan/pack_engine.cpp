@@ -1,0 +1,272 @@
+#include "floorplan/pack_engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wp::fplan {
+
+const char* pack_engine_name(PackEngine engine) {
+  switch (engine) {
+    case PackEngine::kNaive: return "naive";
+    case PackEngine::kFast: return "fast";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void MaxFenwick::reset(std::size_t size) {
+  if (tree_.size() < size + 1) {
+    tree_.assign(size + 1, 0.0);
+    epoch_.assign(size + 1, 0);
+    current_epoch_ = 0;
+  }
+  ++current_epoch_;
+}
+
+void MaxFenwick::update(std::size_t index, double value) {
+  for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+    if (epoch_[i] != current_epoch_) {
+      epoch_[i] = current_epoch_;
+      tree_[i] = value;
+    } else {
+      tree_[i] = std::max(tree_[i], value);
+    }
+  }
+}
+
+double MaxFenwick::prefix_max(std::size_t count) const {
+  double best = 0.0;
+  for (std::size_t i = count; i > 0; i -= i & (~i + 1))
+    if (epoch_[i] == current_epoch_) best = std::max(best, tree_[i]);
+  return best;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Shared core of pack_fast() and the IncrementalPacker's full/suffix
+/// evaluation: recompute x (and symmetrically y) for Γ− positions
+/// [from, n). The Fenwick tree is keyed by Γ+ position for the x pass and
+/// by the reversed Γ+ position for the y pass, so prefix_max() asks exactly
+/// the naive packer's question — max over blocks earlier in Γ− whose Γ+
+/// position is smaller (x) resp. larger (y).
+struct PassSpec {
+  bool horizontal;  ///< true: x/width, false: y/height
+};
+
+void evaluate_pass(const Instance& inst, const std::vector<int>& negative,
+                   const std::vector<std::size_t>& pos_p,
+                   detail::MaxFenwick& fenwick, std::size_t from,
+                   PassSpec pass, std::vector<double>& coord,
+                   std::vector<std::pair<std::size_t, double>>* trail) {
+  const std::size_t n = negative.size();
+  auto key = [&](std::size_t block) {
+    return pass.horizontal ? pos_p[block] : n - 1 - pos_p[block];
+  };
+  auto extent = [&](std::size_t block) {
+    return pass.horizontal ? inst.blocks[block].width
+                           : inst.blocks[block].height;
+  };
+  fenwick.reset(n);
+  for (std::size_t k = 0; k < from; ++k) {
+    const auto a = static_cast<std::size_t>(negative[k]);
+    fenwick.update(key(a), coord[a] + extent(a));
+  }
+  for (std::size_t k = from; k < n; ++k) {
+    const auto b = static_cast<std::size_t>(negative[k]);
+    const double value = fenwick.prefix_max(key(b));
+    if (value != coord[b]) {
+      if (trail) trail->emplace_back(b, coord[b]);
+      coord[b] = value;
+    }
+    fenwick.update(key(b), coord[b] + extent(b));
+  }
+}
+
+}  // namespace
+
+Placement pack_fast(const Instance& inst, const SequencePair& sp) {
+  const std::size_t n = inst.blocks.size();
+  WP_REQUIRE(sp.valid(n), "invalid sequence pair for this instance");
+
+  std::vector<std::size_t> pos_p(n);
+  for (std::size_t k = 0; k < n; ++k)
+    pos_p[static_cast<std::size_t>(sp.positive[k])] = k;
+
+  Placement placement;
+  placement.x.assign(n, 0.0);
+  placement.y.assign(n, 0.0);
+
+  detail::MaxFenwick fenwick;
+  evaluate_pass(inst, sp.negative, pos_p, fenwick, 0, {true}, placement.x,
+                nullptr);
+  evaluate_pass(inst, sp.negative, pos_p, fenwick, 0, {false}, placement.y,
+                nullptr);
+  for (std::size_t b = 0; b < n; ++b) {
+    placement.width =
+        std::max(placement.width, placement.x[b] + inst.blocks[b].width);
+    placement.height =
+        std::max(placement.height, placement.y[b] + inst.blocks[b].height);
+  }
+  return placement;
+}
+
+IncrementalPacker::IncrementalPacker(const Instance& inst,
+                                     const SequencePair& sp,
+                                     double fallback_fraction)
+    : inst_(&inst), n_(inst.blocks.size()),
+      fallback_fraction_(fallback_fraction) {
+  WP_REQUIRE(fallback_fraction >= 0.0 && fallback_fraction <= 1.0,
+             "fallback_fraction must lie in [0, 1]");
+  reset(sp);
+}
+
+void IncrementalPacker::reset(const SequencePair& sp) {
+  WP_REQUIRE(sp.valid(n_), "invalid sequence pair for this instance");
+  sp_ = sp;
+  pos_p_.resize(n_);
+  pos_n_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    pos_p_[static_cast<std::size_t>(sp_.positive[k])] = k;
+    pos_n_[static_cast<std::size_t>(sp_.negative[k])] = k;
+  }
+  placement_.x.assign(n_, 0.0);
+  placement_.y.assign(n_, 0.0);
+  evaluate_full();
+  can_revert_ = false;
+}
+
+void IncrementalPacker::evaluate_full() {
+  evaluate_pass(*inst_, sp_.negative, pos_p_, fenwick_, 0, {true},
+                placement_.x, nullptr);
+  evaluate_pass(*inst_, sp_.negative, pos_p_, fenwick_, 0, {false},
+                placement_.y, nullptr);
+  refresh_bounding_box();
+}
+
+void IncrementalPacker::evaluate_suffix(std::size_t from) {
+  if (from >= n_) return;  // degenerate move: nothing dirty
+  evaluate_pass(*inst_, sp_.negative, pos_p_, fenwick_, from, {true},
+                placement_.x, &trail_.x_delta);
+  evaluate_pass(*inst_, sp_.negative, pos_p_, fenwick_, from, {false},
+                placement_.y, &trail_.y_delta);
+  refresh_bounding_box();
+}
+
+void IncrementalPacker::refresh_bounding_box() {
+  placement_.width = 0.0;
+  placement_.height = 0.0;
+  for (std::size_t b = 0; b < n_; ++b) {
+    placement_.width =
+        std::max(placement_.width, placement_.x[b] + inst_->blocks[b].width);
+    placement_.height = std::max(placement_.height,
+                                 placement_.y[b] + inst_->blocks[b].height);
+  }
+}
+
+std::size_t IncrementalPacker::first_dirty_position(
+    const AppliedMove& move) const {
+  if (move.i == move.j) return n_;
+  // A Γ− swap dirties everything from the earlier swapped position: later
+  // blocks keep their predecessor *sets* but may see changed upstream
+  // coordinates. A Γ+ swap exchanges the Γ+ positions of two blocks, which
+  // can only flip left-of/below relations among blocks whose Γ+ position
+  // lies in the swapped span — find the earliest such block in Γ−.
+  std::size_t from = n_;
+  const auto scan_positive_span = [&](std::size_t lo, std::size_t hi) {
+    std::size_t earliest = n_;
+    for (std::size_t k = lo; k <= hi; ++k) {
+      const auto block = static_cast<std::size_t>(sp_.positive[k]);
+      earliest = std::min(earliest, pos_n_[block]);
+    }
+    return earliest;
+  };
+  const std::size_t lo = std::min(move.i, move.j);
+  const std::size_t hi = std::max(move.i, move.j);
+  switch (move.kind) {
+    case SpMove::kSwapPositive:
+      from = scan_positive_span(lo, hi);
+      break;
+    case SpMove::kSwapNegative:
+      from = lo;
+      break;
+    case SpMove::kSwapBoth:
+      from = std::min(lo, scan_positive_span(lo, hi));
+      break;
+    case SpMove::kCount:
+      break;
+  }
+  return from;
+}
+
+void IncrementalPacker::apply_to_mirror(const AppliedMove& move) {
+  auto swap_in = [&](std::vector<int>& seq, std::vector<std::size_t>& pos) {
+    std::swap(seq[move.i], seq[move.j]);
+    pos[static_cast<std::size_t>(seq[move.i])] = move.i;
+    pos[static_cast<std::size_t>(seq[move.j])] = move.j;
+  };
+  switch (move.kind) {
+    case SpMove::kSwapPositive:
+      swap_in(sp_.positive, pos_p_);
+      break;
+    case SpMove::kSwapNegative:
+      swap_in(sp_.negative, pos_n_);
+      break;
+    case SpMove::kSwapBoth:
+      swap_in(sp_.positive, pos_p_);
+      swap_in(sp_.negative, pos_n_);
+      break;
+    case SpMove::kCount:
+      break;
+  }
+}
+
+const Placement& IncrementalPacker::apply(const AppliedMove& move) {
+  WP_REQUIRE(move.i < n_ && move.j < n_, "move indices out of range");
+  apply_to_mirror(move);
+
+  trail_.move = move;
+  trail_.x_delta.clear();
+  trail_.y_delta.clear();
+  trail_.width = placement_.width;
+  trail_.height = placement_.height;
+
+  const std::size_t from = first_dirty_position(move);
+  const std::size_t dirty = n_ - std::min(from, n_);
+  if (static_cast<double>(dirty) >
+      fallback_fraction_ * static_cast<double>(n_)) {
+    trail_.full = true;
+    trail_.x_full = placement_.x;
+    trail_.y_full = placement_.y;
+    evaluate_full();
+    ++full_packs_;
+  } else {
+    trail_.full = false;
+    evaluate_suffix(from);
+    ++delta_packs_;
+  }
+  can_revert_ = true;
+  return placement_;
+}
+
+void IncrementalPacker::revert() {
+  WP_REQUIRE(can_revert_, "revert() without a preceding apply()");
+  if (trail_.full) {
+    placement_.x.swap(trail_.x_full);
+    placement_.y.swap(trail_.y_full);
+  } else {
+    for (auto it = trail_.x_delta.rbegin(); it != trail_.x_delta.rend(); ++it)
+      placement_.x[it->first] = it->second;
+    for (auto it = trail_.y_delta.rbegin(); it != trail_.y_delta.rend(); ++it)
+      placement_.y[it->first] = it->second;
+  }
+  placement_.width = trail_.width;
+  placement_.height = trail_.height;
+  apply_to_mirror(trail_.move);  // moves are involutions
+  can_revert_ = false;
+}
+
+}  // namespace wp::fplan

@@ -1,0 +1,146 @@
+// Fast sequence-pair packing engine: the O(n log n) weighted-LCS
+// evaluation of Tang/Wong (match-position arrays + a Fenwick tree of
+// prefix maxima over Γ+ positions) and an incremental re-evaluator that
+// delta-packs annealing moves by recomputing only the dirty Γ− suffix.
+//
+// Bit-identity contract: both pack_fast() and IncrementalPacker produce
+// Placements bitwise equal to the naive O(n²) pack(). The naive relaxation
+// computes each coordinate as a max over a candidate set of x[a]+w[a]
+// (resp. y[a]+h[a]) terms; the fast paths take the max over exactly the
+// same set of exactly the same double terms, and IEEE max is associative
+// and commutative, so evaluation order cannot change the result. The
+// differential suite (tests/test_pack_equivalence.cpp) enforces this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "floorplan/model.hpp"
+#include "floorplan/sequence_pair.hpp"
+
+namespace wp::fplan {
+
+/// Which packing implementation the annealer (and everything layered on
+/// it) uses. Both produce bitwise-identical placements; kNaive is the
+/// O(n²) reference kept as the differential-testing oracle.
+enum class PackEngine { kNaive, kFast };
+
+const char* pack_engine_name(PackEngine engine);
+
+namespace detail {
+
+/// Fenwick (binary-indexed) tree of prefix maxima over sequence positions.
+/// Values are non-negative (coordinates plus positive extents), so 0.0 is
+/// the identity and matches the naive packer's x = 0 start. reset() is
+/// O(1) via epoch stamping: stale nodes are treated as empty rather than
+/// cleared, so a re-pack never pays an O(n) wipe up front.
+class MaxFenwick {
+ public:
+  void reset(std::size_t size);
+
+  /// Raises the stored maximum at `index` (0-based) to at least `value`.
+  void update(std::size_t index, double value);
+
+  /// Max over indices [0, count); 0.0 when the range is empty.
+  double prefix_max(std::size_t count) const;
+
+ private:
+  std::vector<double> tree_;
+  std::vector<std::uint64_t> epoch_;
+  std::uint64_t current_epoch_ = 0;
+};
+
+}  // namespace detail
+
+/// Packs the sequence pair in O(n log n): blocks are processed in Γ− order
+/// while a Fenwick tree keyed by Γ+ position answers the
+/// max-over-predecessors query of the weighted longest-common-subsequence
+/// formulation. Bitwise identical to pack().
+Placement pack_fast(const Instance& inst, const SequencePair& sp);
+
+/// Keeps a packed placement in sync with an annealer's sequence pair by
+/// delta-evaluating each SpMove: only the Γ− suffix whose constraints (or
+/// upstream coordinates) could have changed is recomputed, with an exact
+/// fallback to a full O(n log n) repack when the dirty region covers most
+/// of the instance. Mirrors the caller's SequencePair internally, so the
+/// caller keeps using random_move()/undo_move() on its own copy and
+/// forwards each AppliedMove here.
+///
+/// Cost honesty: the delta path still re-primes the Fenwick tree over the
+/// clean Γ− prefix, so a move costs O(n log n) like a full repack — the
+/// delta machinery buys a smaller constant (coordinate writes, change
+/// trail and revert() touch only the dirty suffix) on top of the
+/// engine's real win, which is O(n log n) vs the naive O(n²) relaxation
+/// per move (~8–10× at 100–150 blocks, see bench_floorplan_flow).
+/// Truly sub-linear moves would need a persistent 2D dominance structure
+/// over (Γ−, Γ+) positions; not worth it at current instance sizes.
+///
+/// Usage (one outstanding move at a time, the annealer's shape):
+///   IncrementalPacker packer(inst, sp);
+///   AppliedMove move = random_move(sp, rng);
+///   const Placement& candidate = packer.apply(move);
+///   ... accept: keep going; reject: undo_move(sp, move); packer.revert();
+class IncrementalPacker {
+ public:
+  /// `fallback_fraction` is the dirty-suffix share of n above which apply()
+  /// abandons the delta path and repacks fully (still bit-identical; purely
+  /// a cost trade). 0 forces every move through the full repack, 1 forces
+  /// every move through the delta path.
+  explicit IncrementalPacker(const Instance& inst, const SequencePair& sp,
+                             double fallback_fraction = 0.75);
+
+  const Placement& placement() const { return placement_; }
+  const SequencePair& sequence_pair() const { return sp_; }
+
+  /// Applies `move` to the internal sequence-pair mirror and re-evaluates
+  /// the affected region. The caller must have applied the same move to its
+  /// own SequencePair (random_move already did).
+  const Placement& apply(const AppliedMove& move);
+
+  /// Reverts the most recent apply() — one level deep, matching the
+  /// annealer's accept/reject shape. The caller must have undone the move
+  /// on its own SequencePair (undo_move).
+  void revert();
+
+  /// Full resynchronisation to an arbitrary sequence pair.
+  void reset(const SequencePair& sp);
+
+  /// Evaluation-path counters (bench/test introspection).
+  std::size_t delta_packs() const { return delta_packs_; }
+  std::size_t full_packs() const { return full_packs_; }
+
+ private:
+  void evaluate_full();
+  void evaluate_suffix(std::size_t from);
+  void refresh_bounding_box();
+  std::size_t first_dirty_position(const AppliedMove& move) const;
+  void apply_to_mirror(const AppliedMove& move);
+
+  const Instance* inst_;
+  std::size_t n_ = 0;
+  double fallback_fraction_;
+  SequencePair sp_;                 ///< mirror of the caller's pair
+  std::vector<std::size_t> pos_p_;  ///< block -> position in Γ+
+  std::vector<std::size_t> pos_n_;  ///< block -> position in Γ−
+  Placement placement_;
+  detail::MaxFenwick fenwick_;
+
+  /// One-deep undo trail for revert().
+  struct Trail {
+    AppliedMove move;
+    bool full = false;
+    std::vector<double> x_full, y_full;                      ///< full path
+    std::vector<std::pair<std::size_t, double>> x_delta;     ///< (block, old)
+    std::vector<std::pair<std::size_t, double>> y_delta;
+    double width = 0.0;
+    double height = 0.0;
+  };
+  Trail trail_;
+  bool can_revert_ = false;
+
+  std::size_t delta_packs_ = 0;
+  std::size_t full_packs_ = 0;
+};
+
+}  // namespace wp::fplan

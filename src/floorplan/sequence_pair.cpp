@@ -84,36 +84,7 @@ Placement pack(const Instance& inst, const SequencePair& sp) {
   return placement;
 }
 
-AppliedMove random_move(SequencePair& sp, wp::Rng& rng) {
-  const std::size_t n = sp.positive.size();
-  WP_REQUIRE(n >= 2, "need at least two blocks to perturb");
-  AppliedMove move;
-  move.kind = static_cast<SpMove>(rng.below(
-      static_cast<std::uint64_t>(SpMove::kCount)));
-  move.i = static_cast<std::size_t>(rng.below(n));
-  do {
-    move.j = static_cast<std::size_t>(rng.below(n));
-  } while (move.j == move.i);
-
-  switch (move.kind) {
-    case SpMove::kSwapPositive:
-      std::swap(sp.positive[move.i], sp.positive[move.j]);
-      break;
-    case SpMove::kSwapNegative:
-      std::swap(sp.negative[move.i], sp.negative[move.j]);
-      break;
-    case SpMove::kSwapBoth: {
-      std::swap(sp.positive[move.i], sp.positive[move.j]);
-      std::swap(sp.negative[move.i], sp.negative[move.j]);
-      break;
-    }
-    case SpMove::kCount:
-      break;
-  }
-  return move;
-}
-
-void undo_move(SequencePair& sp, const AppliedMove& move) {
+void apply_move(SequencePair& sp, const AppliedMove& move) {
   switch (move.kind) {
     case SpMove::kSwapPositive:
       std::swap(sp.positive[move.i], sp.positive[move.j]);
@@ -128,6 +99,24 @@ void undo_move(SequencePair& sp, const AppliedMove& move) {
     case SpMove::kCount:
       break;
   }
+}
+
+AppliedMove random_move(SequencePair& sp, wp::Rng& rng) {
+  const std::size_t n = sp.positive.size();
+  WP_REQUIRE(n >= 2, "need at least two blocks to perturb");
+  AppliedMove move;
+  move.kind = static_cast<SpMove>(rng.below(
+      static_cast<std::uint64_t>(SpMove::kCount)));
+  move.i = static_cast<std::size_t>(rng.below(n));
+  do {
+    move.j = static_cast<std::size_t>(rng.below(n));
+  } while (move.j == move.i);
+  apply_move(sp, move);
+  return move;
+}
+
+void undo_move(SequencePair& sp, const AppliedMove& move) {
+  apply_move(sp, move);
 }
 
 }  // namespace wp::fplan

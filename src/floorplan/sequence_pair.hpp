@@ -40,7 +40,14 @@ struct AppliedMove {
   std::size_t j = 0;
 };
 
+/// Applies a described move: swaps positions i/j of the sequences the move
+/// kind names. Every move is an involution — applying it twice is the
+/// identity — and the degenerate i == j case is a no-op.
+void apply_move(SequencePair& sp, const AppliedMove& move);
+
 AppliedMove random_move(SequencePair& sp, wp::Rng& rng);
+
+/// Undoes a move by re-applying it (involution).
 void undo_move(SequencePair& sp, const AppliedMove& move);
 
 }  // namespace wp::fplan

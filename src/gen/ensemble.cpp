@@ -1,6 +1,7 @@
 #include "gen/ensemble.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 #include <utility>
 
@@ -54,7 +55,11 @@ SampleResult run_sample(const EnsembleConfig& config,
       [&evaluator](const std::vector<std::pair<std::string, int>>& demand) {
         return evaluator(demand);
       };
+  const auto anneal_start = std::chrono::steady_clock::now();
   const fplan::AnnealResult annealed = fplan::anneal(sys.instance, options);
+  result.anneal_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - anneal_start)
+                         .count();
   result.area = annealed.area;
   result.wirelength = annealed.wirelength;
 
@@ -88,7 +93,7 @@ std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
   for (std::size_t f = 0; f < config.families.size(); ++f) {
     FamilyStats stats;
     stats.family = config.families[f].name;
-    RunningStats th, rs, area, wl, cycles;
+    RunningStats th, rs, area, wl, cycles, anneal_ms;
     std::vector<double> th_values;
     for (std::size_t i = f * per_family; i < (f + 1) * per_family; ++i) {
       const SampleResult& s = samples[i];
@@ -97,6 +102,7 @@ std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
       rs.add(static_cast<double>(s.total_rs));
       area.add(s.area);
       wl.add(s.wirelength);
+      anneal_ms.add(s.anneal_ms);
       if (s.cycles >= 0) cycles.add(static_cast<double>(s.cycles));
     }
     stats.samples = th.count();
@@ -109,6 +115,7 @@ std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
       stats.rs_mean = rs.mean();
       stats.area_mean = area.mean();
       stats.wirelength_mean = wl.mean();
+      stats.anneal_ms_mean = anneal_ms.mean();
     }
     stats.cycles_counted = cycles.count();
     if (stats.cycles_counted > 0) stats.cycles_mean = cycles.mean();
@@ -144,6 +151,8 @@ EnsembleReport run_jobs(const EnsembleConfig& config, ThreadPool* pool) {
 }  // namespace
 
 bool SampleResult::operator==(const SampleResult& other) const {
+  // anneal_ms is wall-clock and intentionally absent: the sequential vs
+  // pooled determinism check compares results, not timings.
   return family == other.family && sample == other.sample &&
          seed == other.seed && nodes == other.nodes &&
          edges == other.edges && cycles == other.cycles &&
@@ -162,27 +171,29 @@ EnsembleReport run_ensemble_sequential(const EnsembleConfig& config) {
 void write_samples_csv(const EnsembleReport& report, std::ostream& os) {
   CsvWriter csv(os);
   csv.row({"family", "sample", "seed", "nodes", "edges", "cycles",
-           "total_rs", "area_mm2", "wirelength_mm", "throughput"});
+           "total_rs", "area_mm2", "wirelength_mm", "throughput",
+           "anneal_ms"});
   for (const auto& s : report.samples)
     csv.row({s.family, std::to_string(s.sample), std::to_string(s.seed),
              std::to_string(s.nodes), std::to_string(s.edges),
              std::to_string(s.cycles), std::to_string(s.total_rs),
              fmt_fixed(s.area, 6), fmt_fixed(s.wirelength, 6),
-             fmt_fixed(s.throughput, 6)});
+             fmt_fixed(s.throughput, 6), fmt_fixed(s.anneal_ms, 3)});
 }
 
 void write_families_csv(const EnsembleReport& report, std::ostream& os) {
   CsvWriter csv(os);
   csv.row({"family", "samples", "th_mean", "th_median", "th_p95", "th_min",
            "th_max", "rs_mean", "cycles_mean", "cycles_counted", "area_mean",
-           "wirelength_mean"});
+           "wirelength_mean", "anneal_ms_mean"});
   for (const auto& f : report.families)
     csv.row({f.family, std::to_string(f.samples), fmt_fixed(f.th_mean, 6),
              fmt_fixed(f.th_median, 6), fmt_fixed(f.th_p95, 6),
              fmt_fixed(f.th_min, 6), fmt_fixed(f.th_max, 6),
              fmt_fixed(f.rs_mean, 3), fmt_fixed(f.cycles_mean, 3),
              std::to_string(f.cycles_counted), fmt_fixed(f.area_mean, 3),
-             fmt_fixed(f.wirelength_mean, 3)});
+             fmt_fixed(f.wirelength_mean, 3),
+             fmt_fixed(f.anneal_ms_mean, 3)});
 }
 
 }  // namespace wp::gen

@@ -41,6 +41,8 @@ struct EnsembleConfig {
   /// Per-sample annealing job; seed and throughput_fn are overridden per
   /// sample (private evaluator). weight_throughput > 0 makes the
   /// floorplanner fight for loop throughput, the paper's methodology.
+  /// anneal.pack_engine selects the packing engine (default kFast, the
+  /// incremental O(n log n) path; placements are bit-identical to kNaive).
   fplan::AnnealOptions anneal;
   /// Johnson cycle-enumeration cap for the per-sample cycle count; graphs
   /// whose elementary-cycle count exceeds it record cycles = -1 instead of
@@ -66,6 +68,10 @@ struct SampleResult {
   double area = 0.0;           ///< annealed bounding-box area (mm^2)
   double wirelength = 0.0;     ///< annealed HPWL (mm)
   double throughput = 1.0;     ///< min cycle ratio under the derived RS
+  /// Wall-clock of this sample's anneal, for the CSV artifact (pack-engine
+  /// speedups show up here). Deliberately excluded from operator== — timing
+  /// is noisy and must not fail the sequential≡pooled determinism check.
+  double anneal_ms = 0.0;
 
   bool operator==(const SampleResult& other) const;
 };
@@ -84,6 +90,7 @@ struct FamilyStats {
   std::size_t cycles_counted = 0;
   double area_mean = 0.0;
   double wirelength_mean = 0.0;
+  double anneal_ms_mean = 0.0;  ///< wall-clock; informational, not compared
 };
 
 struct EnsembleReport {
