@@ -1,21 +1,30 @@
-// Topology-ensemble bench: four synthetic SoC families x N seeded samples
+// Topology-ensemble bench: five synthetic SoC families x N seeded samples
 // each, every sample driven through the full methodology pipeline
 // (generate -> dress -> throughput-aware annealed floorplan -> placement
-// RS demand -> min-cycle-ratio throughput), with per-family distribution
-// statistics. The same ensemble runs sequentially and on the thread pool;
-// any bitwise divergence is a determinism bug and fails the run.
+// RS demand -> min-cycle-ratio throughput -> golden/WP1/WP2 simulation of
+// the generated netlist via the simulation oracle). The same ensemble runs
+// sequentially and on the thread pool; any bitwise divergence is a
+// determinism bug and fails the run.
+//
+// The default family set includes the 128-node scale-free family the fast
+// packing engine unlocked, riding on FamilySpec::anneal_iterations (a
+// smaller per-family budget than the 24-node families).
 //
 // CSV: writes <prefix>_samples.csv and <prefix>_families.csv (prefix from
 // the first non-flag argument, default "bench_ensembles") for the
-// per-commit CI artifact. Passing --large additionally runs a 128-node
-// scale-free family — the regime the fast packing engine unlocks — and
-// writes <prefix>_large_*.csv; the per-sample anneal_ms CSV column makes
-// the packing speedup visible in the artifact.
+// per-commit CI artifact; the samples CSV carries th_wp1_sim/th_wp2_sim/
+// sim_ok next to the static bound.
+//
+// Flags (shared helpers in bench_common.hpp):
+//   --samples N        samples per family (default 12)
+//   --families a,b,c   keep only the named families (default: all five)
+//   --no-sim           skip the golden/WP1/WP2 simulation triple
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "bench_common.hpp"
 #include "gen/ensemble.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -33,8 +42,9 @@ wp::gen::EnsembleConfig make_config() {
   using wp::gen::TopologyFamily;
   wp::gen::EnsembleConfig config;
   config.seed = 2005;
-  config.samples_per_family = 20;
+  config.samples_per_family = 12;
   config.anneal.iterations = 1500;
+  config.simulate.enabled = true;
 
   FamilySpec ba;
   ba.name = "ba-24";
@@ -69,28 +79,18 @@ wp::gen::EnsembleConfig make_config() {
   cer.topology.er_inter_probability = 0.03;
   config.families.push_back(cer);
 
-  return config;
-}
+  // The scale regime the incremental packing engine unlocked, now in the
+  // default set: per-family iteration budget instead of a separate
+  // --large run. Johnson cycle enumeration explodes here; the global cap
+  // records cycles = -1 for these samples.
+  FamilySpec large;
+  large.name = "ba-128";
+  large.topology.family = TopologyFamily::kBarabasiAlbert;
+  large.topology.num_nodes = 128;
+  large.topology.ba_attach = 2;
+  large.anneal_iterations = 800;
+  config.families.push_back(large);
 
-/// The scale regime the incremental packing engine unlocks: one 128-node
-/// scale-free family through the same pipeline. Gated behind --large
-/// because it dominates the bench's wall-clock.
-wp::gen::EnsembleConfig make_large_config() {
-  using wp::gen::FamilySpec;
-  using wp::gen::TopologyFamily;
-  wp::gen::EnsembleConfig config;
-  config.seed = 2006;
-  config.samples_per_family = 6;
-  config.anneal.iterations = 800;
-  // Johnson enumeration explodes at this scale; skip the cycle census.
-  config.max_cycle_enumeration = 0;
-
-  FamilySpec ba;
-  ba.name = "ba-128";
-  ba.topology.family = TopologyFamily::kBarabasiAlbert;
-  ba.topology.num_nodes = 128;
-  ba.topology.ba_attach = 2;
-  config.families.push_back(ba);
   return config;
 }
 
@@ -109,17 +109,23 @@ bool run_and_report(const wp::gen::EnsembleConfig& config,
 
   const bool identical = sequential.samples == parallel.samples;
 
-  TextTable table({"family", "samples", "Th mean", "Th median", "Th p95",
-                   "Th min", "RS mean", "cycles mean", "area mean",
-                   "anneal ms"});
+  TextTable table({"family", "samples", "Th mean", "Th p95", "Th min",
+                   "Th wp1 sim", "Th wp2 sim", "sim fail", "RS mean",
+                   "area mean", "anneal ms"});
   table.add_separator();
-  for (const auto& f : parallel.families)
+  for (const auto& f : parallel.families) {
+    // Sim columns show "-" when the triple was not simulated (--no-sim):
+    // an unmeasured value must not read as a measured zero.
+    const bool sim = f.sim_samples > 0;
     table.add_row({f.family, std::to_string(f.samples),
-                   fmt_fixed(f.th_mean, 3), fmt_fixed(f.th_median, 3),
-                   fmt_fixed(f.th_p95, 3), fmt_fixed(f.th_min, 3),
-                   fmt_fixed(f.rs_mean, 1), fmt_fixed(f.cycles_mean, 1),
-                   fmt_fixed(f.area_mean, 1),
+                   fmt_fixed(f.th_mean, 3), fmt_fixed(f.th_p95, 3),
+                   fmt_fixed(f.th_min, 3),
+                   sim ? fmt_fixed(f.th_wp1_sim_mean, 3) : std::string("-"),
+                   sim ? fmt_fixed(f.th_wp2_sim_mean, 3) : std::string("-"),
+                   sim ? std::to_string(f.sim_failures) : std::string("-"),
+                   fmt_fixed(f.rs_mean, 1), fmt_fixed(f.area_mean, 1),
                    fmt_fixed(f.anneal_ms_mean, 1)});
+  }
   table.print(std::cout);
 
   std::cout << "sequential " << fmt_fixed(sequential_s, 2) << " s, pooled "
@@ -127,6 +133,11 @@ bool run_and_report(const wp::gen::EnsembleConfig& config,
             << fmt_fixed(sequential_s / parallel_s, 2)
             << "x)   sequential == pooled: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  if (config.simulate.enabled)
+    std::cout << "simulation oracle: " << parallel.sim_golden_runs
+              << " golden runs for " << parallel.samples.size()
+              << " samples x 2 WP evaluations (each WP1/WP2 pair replays "
+                 "one cached golden)\n";
 
   {
     std::ofstream samples(prefix + "_samples.csv");
@@ -145,32 +156,69 @@ bool run_and_report(const wp::gen::EnsembleConfig& config,
 int main(int argc, char** argv) {
   using namespace wp;
 
-  std::string prefix = "bench_ensembles";
-  bool large = false;
+  // Every flag that consumes a value, shared between the readers below and
+  // the positional-prefix scan; a typo'd or retired flag must error, not
+  // silently run the default configuration.
+  const std::vector<std::string> valued_flags = {"--samples", "--families"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--large")
-      large = true;
-    else
-      prefix = arg;
+    if (std::find(valued_flags.begin(), valued_flags.end(), arg) !=
+        valued_flags.end()) {
+      ++i;  // skip the value
+    } else if (arg.rfind("--", 0) == 0 && arg != "--no-sim") {
+      std::cerr << "unknown flag '" << arg
+                << "' — known: --samples N, --families a,b,c, --no-sim\n";
+      return 2;
+    }
   }
 
-  const gen::EnsembleConfig config = make_config();
+  gen::EnsembleConfig config = make_config();
+  config.samples_per_family =
+      bench::arg_int(argc, argv, "--samples", config.samples_per_family);
+  if (bench::has_flag(argc, argv, "--no-sim"))
+    config.simulate.enabled = false;
+
+  const std::vector<std::string> keep =
+      bench::arg_list(argc, argv, "--families");
+  if (!keep.empty()) {
+    std::vector<gen::FamilySpec> chosen;
+    for (const auto& name : keep) {
+      // Duplicates would run the same name-keyed seeds twice and emit
+      // indistinguishable CSV rows.
+      const auto dup = [&](const gen::FamilySpec& f) {
+        return f.name == name;
+      };
+      if (std::any_of(chosen.begin(), chosen.end(), dup)) {
+        std::cerr << "family '" << name << "' listed twice in --families\n";
+        return 2;
+      }
+      bool found = false;
+      for (const auto& family : config.families)
+        if (family.name == name) {
+          chosen.push_back(family);
+          found = true;
+        }
+      if (!found) {
+        std::cerr << "unknown family '" << name << "' — available:";
+        for (const auto& family : config.families)
+          std::cerr << " " << family.name;
+        std::cerr << "\n";
+        return 2;
+      }
+    }
+    config.families = std::move(chosen);
+  }
+
+  const std::string prefix =
+      bench::positional_arg(argc, argv, valued_flags, "bench_ensembles");
+
   std::cout << "Topology ensemble: " << config.families.size()
             << " families x " << config.samples_per_family
-            << " samples, full floorplan->RS->throughput pipeline, "
-            << ThreadPool::shared().size() << " pool workers\n\n";
+            << " samples, full floorplan->RS->throughput pipeline"
+            << (config.simulate.enabled
+                    ? " + golden/WP1/WP2 netlist simulation"
+                    : "")
+            << ", " << ThreadPool::shared().size() << " pool workers\n\n";
 
-  bool identical = run_and_report(config, prefix);
-
-  if (large) {
-    const gen::EnsembleConfig large_config = make_large_config();
-    std::cout << "Large-scale family (--large): "
-              << large_config.families.front().name << " x "
-              << large_config.samples_per_family
-              << " samples, incremental packing engine\n\n";
-    identical = run_and_report(large_config, prefix + "_large") && identical;
-  }
-
-  return identical ? 0 : 1;
+  return run_and_report(config, prefix) ? 0 : 1;
 }

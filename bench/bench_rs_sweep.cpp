@@ -2,9 +2,10 @@
 // connection separately, WP1 vs WP2, both programs. Generalizes Table 1's
 // single-RS rows and shows where the WP2 advantage saturates.
 //
-// Every sweep point is an independent golden/WP1/WP2 simulation triple, so
-// the whole sweep fans out over the shared thread pool (ParallelSweep) and
-// the rows come back in deterministic input order.
+// Every sweep point is an independent WP1/WP2 simulation pair against the
+// shared cached golden (simulation oracle: the golden runs once per
+// program, no matter how many points or workers), fanned out over the
+// thread pool (ParallelSweep) with rows in deterministic input order.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -21,6 +22,8 @@ int main() {
   for (const bool use_matmul : {false, true}) {
     const ProgramSpec program =
         use_matmul ? matmul_program(4, 2) : extraction_sort_program(16, 1);
+    const wp::sim::GoldenCache::Stats oracle_before =
+        wp::sim::SimOracle::shared().stats();
     wp::TextTable table({"connection", "n", "Th WP1", "Th WP2", "gain",
                          "static"});
     table.add_section("RS depth sweep — " + program.name + " (" +
@@ -50,6 +53,9 @@ int main() {
     table.print(std::cout);
     wp::bench::maybe_write_csv(
         use_matmul ? "rs_sweep_matmul" : "rs_sweep_sort", rows);
+    wp::bench::print_golden_replays(
+        use_matmul ? "rs_sweep_matmul" : "rs_sweep_sort", oracle_before,
+        wp::sim::SimOracle::shared().stats());
     std::cout << "\n";
   }
   std::cout << "WP1 follows m/(m+n) (deeper pipelining keeps hurting); the "

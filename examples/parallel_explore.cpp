@@ -12,6 +12,7 @@
 #include "graph/throughput.hpp"
 #include "proc/cpu.hpp"
 #include "proc/experiment.hpp"
+#include "sim/oracle.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -97,8 +98,12 @@ int main() {
             << parallel.throughput_cache_hits
             << " served from the demand memo (best restart)\n\n";
 
-  // A relay-station sweep fanned over the same pool: every point is a full
-  // golden/WP1/WP2 simulation triple plus a static loop inventory.
+  // A relay-station sweep fanned over the same pool: every point is a
+  // WP1/WP2 simulation pair against the shared cached golden (the
+  // simulation oracle runs the golden once for the whole sweep), plus a
+  // static loop inventory.
+  const sim::GoldenCache::Stats oracle_before =
+      sim::SimOracle::shared().stats();
   proc::ExperimentOptions options;
   options.check_equivalence = false;
   const proc::ParallelSweep sweep(proc::extraction_sort_program(16, 1), {},
@@ -123,6 +128,12 @@ int main() {
                              ? "(acyclic)"
                              : reports[i].critical_loop});
   sweep_table.print(std::cout);
+  const sim::GoldenCache::Stats oracle_after =
+      sim::SimOracle::shared().stats();
+  std::cout << "simulation oracle: golden simulated "
+            << oracle_after.golden_runs - oracle_before.golden_runs
+            << "x for " << rows.size() << " sweep points ("
+            << oracle_after.hits - oracle_before.hits << " cache hits)\n";
 
   return identical ? 0 : 1;
 }

@@ -7,7 +7,9 @@
 
 #include "graph/cycles.hpp"
 #include "graph/throughput.hpp"
+#include "sim/netlist_sim.hpp"
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -18,16 +20,22 @@ namespace wp::gen {
 namespace {
 
 /// Arithmetic (not stream-dependent) per-sample seed, so sequential and
-/// pooled runs derive identical streams in any execution order.
+/// pooled runs derive identical streams in any execution order. Keyed on
+/// the family *name*, not its index, so filtering or reordering the family
+/// list (bench_ensembles --families) reproduces the unfiltered run's rows
+/// bit for bit. Families must have distinct names (the CSV key already
+/// assumes this).
 std::uint64_t sample_seed(const EnsembleConfig& config,
                           std::size_t family_index, int sample) {
   const std::uint64_t lane =
-      family_index * 1000003ULL + static_cast<std::uint64_t>(sample) + 1ULL;
+      hash_string(config.families[family_index].name) * 1000003ULL +
+      static_cast<std::uint64_t>(sample) + 1ULL;
   return config.seed + 0x9e3779b97f4a7c15ULL * lane;
 }
 
 SampleResult run_sample(const EnsembleConfig& config,
-                        std::size_t family_index, int sample) {
+                        std::size_t family_index, int sample,
+                        sim::GoldenCache* golden_cache) {
   const FamilySpec& family = config.families[family_index];
   SampleResult result;
   result.family = family.name;
@@ -50,6 +58,8 @@ SampleResult run_sample(const EnsembleConfig& config,
   graph::ThroughputEvaluator evaluator(std::move(base));
 
   fplan::AnnealOptions options = config.anneal;
+  if (family.anneal_iterations > 0)
+    options.iterations = family.anneal_iterations;
   options.seed = result.seed;
   options.throughput_fn =
       [&evaluator](const std::vector<std::pair<std::string, int>>& demand) {
@@ -70,6 +80,26 @@ SampleResult run_sample(const EnsembleConfig& config,
     result.total_rs += rs;
   }
   result.throughput = evaluator(demand);
+
+  if (config.simulate.enabled) {
+    // Simulated counterpart of the static bound: the generated netlist's
+    // golden/WP1/WP2 triple under the same placement-derived RS demand.
+    // The golden run is keyed by the netlist text, so WP1, WP2 and the two
+    // equivalence checks share one cached record.
+    sim::NetlistSimOptions sim_options;
+    sim_options.golden_cycles = config.simulate.golden_cycles;
+    sim_options.wp_cycles = config.simulate.wp_cycles;
+    sim_options.fifo_capacity = config.simulate.fifo_capacity;
+    sim_options.check_equivalence = config.simulate.check_equivalence;
+    const std::map<std::string, int> rs_map(demand.begin(), demand.end());
+    const sim::NetlistSimResult sim_result =
+        sim::simulate_netlist(sys.netlist, rs_map, sim_options, golden_cache);
+    result.simulated = true;
+    result.th_wp1_sim = sim_result.th_wp1;
+    result.th_wp2_sim = sim_result.th_wp2;
+    result.sim_ok = sim_result.wp1_equivalent && sim_result.wp2_equivalent &&
+                    sim_result.wp1_firings > 0 && sim_result.wp2_firings > 0;
+  }
 
   if (config.max_cycle_enumeration == 0) {
     result.cycles = -1;
@@ -93,7 +123,7 @@ std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
   for (std::size_t f = 0; f < config.families.size(); ++f) {
     FamilyStats stats;
     stats.family = config.families[f].name;
-    RunningStats th, rs, area, wl, cycles, anneal_ms;
+    RunningStats th, rs, area, wl, cycles, anneal_ms, th1_sim, th2_sim;
     std::vector<double> th_values;
     for (std::size_t i = f * per_family; i < (f + 1) * per_family; ++i) {
       const SampleResult& s = samples[i];
@@ -104,6 +134,11 @@ std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
       wl.add(s.wirelength);
       anneal_ms.add(s.anneal_ms);
       if (s.cycles >= 0) cycles.add(static_cast<double>(s.cycles));
+      if (s.simulated) {
+        th1_sim.add(s.th_wp1_sim);
+        th2_sim.add(s.th_wp2_sim);
+        if (!s.sim_ok) ++stats.sim_failures;
+      }
     }
     stats.samples = th.count();
     if (stats.samples > 0) {
@@ -119,6 +154,11 @@ std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
     }
     stats.cycles_counted = cycles.count();
     if (stats.cycles_counted > 0) stats.cycles_mean = cycles.mean();
+    stats.sim_samples = th2_sim.count();
+    if (stats.sim_samples > 0) {
+      stats.th_wp1_sim_mean = th1_sim.mean();
+      stats.th_wp2_sim_mean = th2_sim.mean();
+    }
     families.push_back(std::move(stats));
   }
   return families;
@@ -135,15 +175,25 @@ EnsembleReport run_jobs(const EnsembleConfig& config, ThreadPool* pool) {
   report.samples.resize(total);
   const auto per_family =
       static_cast<std::size_t>(config.samples_per_family);
+  // One golden cache for the whole run (thread-safe, per-key once-
+  // semantics): every sample's WP1/WP2 pair replays one cached golden, and
+  // repeat netlists across samples are cache hits. Generated netlists are
+  // all distinct in a typical ensemble, so a cap around the worker count
+  // keeps memory flat without costing hits.
+  sim::GoldenCache golden_cache(/*max_entries=*/64);
   auto body = [&](std::size_t i) {
-    report.samples[i] = run_sample(config, i / per_family,
-                                   static_cast<int>(i % per_family));
+    report.samples[i] =
+        run_sample(config, i / per_family, static_cast<int>(i % per_family),
+                   config.simulate.enabled ? &golden_cache : nullptr);
   };
   if (pool == nullptr) {
     for (std::size_t i = 0; i < total; ++i) body(i);
   } else {
     pool->parallel_for(0, total, body);
   }
+  const sim::GoldenCache::Stats cache_stats = golden_cache.stats();
+  report.sim_golden_runs = cache_stats.golden_runs;
+  report.sim_cache_hits = cache_stats.hits;
   report.families = aggregate(config, report.samples);
   return report;
 }
@@ -157,7 +207,9 @@ bool SampleResult::operator==(const SampleResult& other) const {
          seed == other.seed && nodes == other.nodes &&
          edges == other.edges && cycles == other.cycles &&
          total_rs == other.total_rs && area == other.area &&
-         wirelength == other.wirelength && throughput == other.throughput;
+         wirelength == other.wirelength && throughput == other.throughput &&
+         simulated == other.simulated && th_wp1_sim == other.th_wp1_sim &&
+         th_wp2_sim == other.th_wp2_sim && sim_ok == other.sim_ok;
 }
 
 EnsembleReport run_ensemble(const EnsembleConfig& config, ThreadPool* pool) {
@@ -172,20 +224,25 @@ void write_samples_csv(const EnsembleReport& report, std::ostream& os) {
   CsvWriter csv(os);
   csv.row({"family", "sample", "seed", "nodes", "edges", "cycles",
            "total_rs", "area_mm2", "wirelength_mm", "throughput",
-           "anneal_ms"});
+           "th_wp1_sim", "th_wp2_sim", "sim_ok", "anneal_ms"});
   for (const auto& s : report.samples)
     csv.row({s.family, std::to_string(s.sample), std::to_string(s.seed),
              std::to_string(s.nodes), std::to_string(s.edges),
              std::to_string(s.cycles), std::to_string(s.total_rs),
              fmt_fixed(s.area, 6), fmt_fixed(s.wirelength, 6),
-             fmt_fixed(s.throughput, 6), fmt_fixed(s.anneal_ms, 3)});
+             fmt_fixed(s.throughput, 6),
+             s.simulated ? fmt_fixed(s.th_wp1_sim, 6) : std::string(),
+             s.simulated ? fmt_fixed(s.th_wp2_sim, 6) : std::string(),
+             std::string(s.simulated ? (s.sim_ok ? "1" : "0") : ""),
+             fmt_fixed(s.anneal_ms, 3)});
 }
 
 void write_families_csv(const EnsembleReport& report, std::ostream& os) {
   CsvWriter csv(os);
   csv.row({"family", "samples", "th_mean", "th_median", "th_p95", "th_min",
            "th_max", "rs_mean", "cycles_mean", "cycles_counted", "area_mean",
-           "wirelength_mean", "anneal_ms_mean"});
+           "wirelength_mean", "th_wp1_sim_mean", "th_wp2_sim_mean",
+           "sim_failures", "anneal_ms_mean"});
   for (const auto& f : report.families)
     csv.row({f.family, std::to_string(f.samples), fmt_fixed(f.th_mean, 6),
              fmt_fixed(f.th_median, 6), fmt_fixed(f.th_p95, 6),
@@ -193,6 +250,12 @@ void write_families_csv(const EnsembleReport& report, std::ostream& os) {
              fmt_fixed(f.rs_mean, 3), fmt_fixed(f.cycles_mean, 3),
              std::to_string(f.cycles_counted), fmt_fixed(f.area_mean, 3),
              fmt_fixed(f.wirelength_mean, 3),
+             f.sim_samples > 0 ? fmt_fixed(f.th_wp1_sim_mean, 6)
+                               : std::string(),
+             f.sim_samples > 0 ? fmt_fixed(f.th_wp2_sim_mean, 6)
+                               : std::string(),
+             f.sim_samples > 0 ? std::to_string(f.sim_failures)
+                               : std::string(),
              fmt_fixed(f.anneal_ms_mean, 3)});
 }
 

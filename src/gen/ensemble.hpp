@@ -3,10 +3,13 @@
 // floorplannable system, anneal a throughput-aware floorplan, derive the
 // placement's relay-station demand, and score the resulting min-cycle-
 // ratio system throughput — then aggregates per-family distribution
-// statistics and writes tidy CSV.
+// statistics and writes tidy CSV. Opt-in (EnsembleSimOptions): simulate
+// each sample's generated netlist as a golden/WP1/WP2 triple through the
+// simulation oracle, so rows carry *simulated* throughput next to the
+// static m/(m+n) bound.
 //
 // Determinism contract: every sample owns an Rng derived arithmetically
-// from (ensemble seed, family index, sample index) and a private
+// from (ensemble seed, family name, sample index) and a private
 // ThroughputEvaluator, so the pooled run writes results into input-order
 // slots and is bit-identical to the sequential run under the same config
 // (checked by test_gen and by bench_ensembles on every invocation).
@@ -32,12 +35,29 @@ struct FamilySpec {
   std::string name;  ///< CSV/report key, e.g. "ba-32"
   TopologyConfig topology;
   SystemConfig system;
+  /// Per-family override of EnsembleConfig::anneal.iterations; 0 keeps the
+  /// ensemble-wide budget. Lets large families (128–256 nodes) ride in the
+  /// default set with a smaller per-sample budget.
+  int anneal_iterations = 0;
+};
+
+/// Opt-in simulated-throughput mode: run every sample's generated
+/// randommoore netlist through a golden/WP1/WP2 triple (sim::simulate_
+/// netlist, golden cached per netlist) under the placement-derived RS
+/// demand, landing th_wp1_sim/th_wp2_sim next to the static bound.
+struct EnsembleSimOptions {
+  bool enabled = false;
+  std::uint64_t golden_cycles = 256;  ///< golden horizon (τ-trace length)
+  std::uint64_t wp_cycles = 1536;     ///< WP1/WP2 horizon
+  std::size_t fifo_capacity = 16;
+  bool check_equivalence = true;      ///< τ-filtered check vs cached golden
 };
 
 struct EnsembleConfig {
   std::vector<FamilySpec> families;
   int samples_per_family = 20;
   std::uint64_t seed = 1;
+  EnsembleSimOptions simulate;
   /// Per-sample annealing job; seed and throughput_fn are overridden per
   /// sample (private evaluator). weight_throughput > 0 makes the
   /// floorplanner fight for loop throughput, the paper's methodology.
@@ -68,6 +88,13 @@ struct SampleResult {
   double area = 0.0;           ///< annealed bounding-box area (mm^2)
   double wirelength = 0.0;     ///< annealed HPWL (mm)
   double throughput = 1.0;     ///< min cycle ratio under the derived RS
+  /// Simulated throughputs (EnsembleSimOptions; zeros when not simulated):
+  /// the generated netlist's golden/WP1/WP2 triple under the same
+  /// placement-derived RS demand the static bound was scored with.
+  bool simulated = false;
+  double th_wp1_sim = 0.0;
+  double th_wp2_sim = 0.0;
+  bool sim_ok = true;          ///< equivalence + progress verdict
   /// Wall-clock of this sample's anneal, for the CSV artifact (pack-engine
   /// speedups show up here). Deliberately excluded from operator== — timing
   /// is noisy and must not fail the sequential≡pooled determinism check.
@@ -90,12 +117,21 @@ struct FamilyStats {
   std::size_t cycles_counted = 0;
   double area_mean = 0.0;
   double wirelength_mean = 0.0;
+  std::size_t sim_samples = 0;   ///< samples that carried a simulation
+  double th_wp1_sim_mean = 0.0;  ///< over sim_samples; 0 when none
+  double th_wp2_sim_mean = 0.0;
+  std::size_t sim_failures = 0;  ///< samples whose sim verdict failed
   double anneal_ms_mean = 0.0;  ///< wall-clock; informational, not compared
 };
 
 struct EnsembleReport {
   std::vector<SampleResult> samples;  ///< family-major, sample order
   std::vector<FamilyStats> families;  ///< config order
+  /// Golden-cache statistics of the run's simulation oracle (zeros when
+  /// simulation was off). Informational — never part of the determinism
+  /// comparison.
+  std::uint64_t sim_golden_runs = 0;
+  std::uint64_t sim_cache_hits = 0;
 };
 
 /// Runs the whole ensemble on the pool (nullptr = ThreadPool::shared()).

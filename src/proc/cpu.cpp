@@ -72,4 +72,14 @@ wp::graph::Digraph make_cpu_graph() {
   return g;
 }
 
+wp::graph::Digraph make_cpu_graph_with_rs(
+    const std::map<std::string, int>& rs) {
+  wp::graph::Digraph g = make_cpu_graph();
+  for (wp::graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto it = rs.find(g.edge(e).label);
+    if (it != rs.end()) g.edge(e).relay_stations = it->second;
+  }
+  return g;
+}
+
 }  // namespace wp::proc

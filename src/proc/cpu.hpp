@@ -2,6 +2,7 @@
 // ten named connections of Table 1, and as a Digraph for static analysis.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -32,5 +33,12 @@ wp::SystemSpec make_cpu_system(const ProgramSpec& program,
 /// The Fig. 1 topology as a digraph; edge labels are connection names and
 /// relay-station counts start at zero.
 wp::graph::Digraph make_cpu_graph();
+
+/// make_cpu_graph() with a per-connection relay-station map applied
+/// (missing names keep zero). The single source of truth for turning a
+/// Table-1 RS configuration into the static-analysis graph — shared by the
+/// simulation oracle's m/(m+n) column and ParallelSweep::analyze.
+wp::graph::Digraph make_cpu_graph_with_rs(
+    const std::map<std::string, int>& rs);
 
 }  // namespace wp::proc

@@ -2,122 +2,25 @@
 
 #include <utility>
 
-#include "graph/cycle_ratio.hpp"
 #include "graph/optimize.hpp"
-#include "proc/blocks.hpp"
-#include "util/assert.hpp"
+#include "sim/oracle.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wp::proc {
 
-namespace {
-
-const DcacheBlock& dcache_of(const wp::Process& p) {
-  const auto* dc = dynamic_cast<const DcacheBlock*>(&p);
-  WP_CHECK(dc != nullptr, "DC process is not a DcacheBlock");
-  return *dc;
-}
-
-/// Applies a per-connection RS map to the static graph.
-wp::graph::Digraph graph_with_rs(const std::map<std::string, int>& rs) {
-  wp::graph::Digraph g = make_cpu_graph();
-  for (wp::graph::EdgeId e = 0; e < g.num_edges(); ++e) {
-    auto it = rs.find(g.edge(e).label);
-    if (it != rs.end()) g.edge(e).relay_stations = it->second;
-  }
-  return g;
-}
-
-}  // namespace
-
 ExperimentRow run_experiment(const ProgramSpec& program,
                              const CpuConfig& cpu, const RsConfig& config,
                              const ExperimentOptions& options) {
-  ExperimentRow row;
-  row.label = config.label;
-
-  auto note = [&row](const std::string& msg) {
-    if (row.detail.empty()) row.detail = msg;
-  };
-
-  // --- golden reference -----------------------------------------------
-  wp::SystemSpec spec = make_cpu_system(program, cpu);
-  wp::GoldenSim golden(spec, options.check_equivalence);
-  row.golden_cycles = golden.run_until_halt(options.max_cycles);
-  WP_CHECK(golden.halted(), "golden run did not halt — raise max_cycles");
-  if (options.verify_result) {
-    std::string error;
-    if (!program.verify(dcache_of(golden.process("DC")).memory(), &error)) {
-      row.result_ok = false;
-      note("golden result check failed: " + error);
-    }
-  }
-
-  // --- the two wire-pipelined systems ----------------------------------
-  spec.set_rs_map(config.rs);
-
-  for (const bool oracle : {false, true}) {
-    wp::ShellOptions shell;
-    shell.use_oracle = oracle;
-    shell.fifo_capacity = options.fifo_capacity;
-    wp::LidSystem lid =
-        build_lid(spec, shell, options.check_equivalence);
-    const std::uint64_t cycles = lid.run_until_halt(options.max_cycles);
-    const auto* cu = lid.shells.at("CU");
-    if (!cu->halted()) {
-      note(std::string(oracle ? "WP2" : "WP1") +
-           " run did not halt within max_cycles");
-    }
-    if (options.check_equivalence) {
-      const auto eq = check_equivalence(golden.trace(), lid.trace);
-      if (!eq.equivalent) {
-        if (oracle)
-          row.wp2_equivalent = false;
-        else
-          row.wp1_equivalent = false;
-        note(std::string(oracle ? "WP2" : "WP1") +
-             " not equivalent to golden: " + eq.detail);
-      }
-    }
-    if (options.verify_result) {
-      std::string error;
-      if (!program.verify(dcache_of(lid.shells.at("DC")->process()).memory(),
-                          &error)) {
-        row.result_ok = false;
-        note(std::string(oracle ? "WP2" : "WP1") +
-             " result check failed: " + error);
-      }
-    }
-    if (oracle)
-      row.wp2_cycles = cycles;
-    else
-      row.wp1_cycles = cycles;
-  }
-
-  row.th_wp1 = static_cast<double>(row.golden_cycles) /
-               static_cast<double>(row.wp1_cycles);
-  row.th_wp2 = static_cast<double>(row.golden_cycles) /
-               static_cast<double>(row.wp2_cycles);
-  row.improvement = (row.th_wp2 - row.th_wp1) / row.th_wp1;
-  row.static_wp1 =
-      wp::graph::min_cycle_ratio_lawler(graph_with_rs(config.rs)).ratio;
-  return row;
+  return sim::SimOracle::shared().run_experiment(program, cpu, config,
+                                                 options);
 }
 
 double simulate_wp2_throughput(const ProgramSpec& program,
                                const CpuConfig& cpu,
                                const std::map<std::string, int>& rs,
                                std::size_t fifo_capacity) {
-  wp::SystemSpec spec = make_cpu_system(program, cpu);
-  wp::GoldenSim golden(spec, false);
-  const std::uint64_t golden_cycles = golden.run_until_halt(2000000);
-  spec.set_rs_map(rs);
-  wp::ShellOptions shell;
-  shell.use_oracle = true;
-  shell.fifo_capacity = fifo_capacity;
-  wp::LidSystem lid = build_lid(spec, shell, false);
-  const std::uint64_t cycles = lid.run_until_halt(2000000, /*grace=*/0);
-  return static_cast<double>(golden_cycles) / static_cast<double>(cycles);
+  return sim::SimOracle::shared().wp2_throughput(program, cpu, rs,
+                                                 fifo_capacity);
 }
 
 std::vector<RsConfig> table1_sort_configs() {
@@ -157,13 +60,17 @@ RsConfig optimal_config(const std::string& label, const ProgramSpec& program,
                         const std::map<std::string, int>& demand,
                         const std::map<std::string, int>& relieved,
                         int budget) {
+  // Every candidate the exhaustive search scores shares one golden run:
+  // the oracle caches it on the first evaluation, so the optimizer's cost
+  // is the WP2 simulations alone.
+  sim::SimOracle& oracle = sim::SimOracle::shared();
   wp::graph::RsOptimizeProblem problem;
   problem.demand = demand;
   problem.relieved = relieved;
   problem.max_relieved = budget;
   const auto result = wp::graph::optimize_rs_exhaustive(
       problem, [&](const wp::graph::RsAssignment& assignment) {
-        return simulate_wp2_throughput(program, cpu, assignment);
+        return oracle.wp2_throughput(program, cpu, assignment);
       });
   return {label, result.assignment};
 }
@@ -175,9 +82,11 @@ ParallelSweep::ParallelSweep(ProgramSpec program, CpuConfig cpu,
 std::vector<ExperimentRow> ParallelSweep::run(
     const std::vector<RsConfig>& configs, ThreadPool* pool) const {
   ThreadPool& workers = pool != nullptr ? *pool : ThreadPool::shared();
+  sim::SimOracle& oracle =
+      oracle_ != nullptr ? *oracle_ : sim::SimOracle::shared();
   std::vector<ExperimentRow> rows(configs.size());
   workers.parallel_for(0, configs.size(), [&](std::size_t i) {
-    rows[i] = run_experiment(program_, cpu_, configs[i], options_);
+    rows[i] = oracle.run_experiment(program_, cpu_, configs[i], options_);
   });
   return rows;
 }
@@ -187,7 +96,8 @@ std::vector<wp::graph::ThroughputReport> ParallelSweep::analyze(
   ThreadPool& workers = pool != nullptr ? *pool : ThreadPool::shared();
   std::vector<wp::graph::ThroughputReport> reports(configs.size());
   workers.parallel_for(0, configs.size(), [&](std::size_t i) {
-    reports[i] = wp::graph::analyze_throughput(graph_with_rs(configs[i].rs));
+    reports[i] =
+        wp::graph::analyze_throughput(make_cpu_graph_with_rs(configs[i].rs));
   });
   return reports;
 }

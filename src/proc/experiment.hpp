@@ -2,6 +2,13 @@
 // the WP1 system and the WP2 system under a relay-station configuration,
 // measure cycles and throughput, check τ-filtered equivalence and the
 // program's final memory, and compare against the static m/(m+n) bound.
+//
+// Since the simulation-oracle refactor these entry points are thin clients
+// of sim::SimOracle: the golden reference of a (program, cpu) pair is
+// simulated once, cached, and replayed for every subsequent evaluation —
+// a sweep over one program, or the optimizer's exhaustive candidate scan,
+// runs the golden exactly once. Results are bit-identical to the
+// fresh-golden path (differential suite: tests/test_sim_oracle.cpp).
 #pragma once
 
 #include <map>
@@ -14,6 +21,9 @@
 
 namespace wp {
 class ThreadPool;
+}
+namespace wp::sim {
+class SimOracle;
 }
 
 namespace wp::proc {
@@ -46,13 +56,16 @@ struct ExperimentOptions {
   std::size_t fifo_capacity = 16;
 };
 
-/// Runs one configuration.
+/// Runs one configuration against the process-wide shared simulation
+/// oracle (sim::SimOracle::shared()): WP1/WP2 are simulated fresh, the
+/// golden side is a cache hit after the first evaluation of the program.
 ExperimentRow run_experiment(const ProgramSpec& program,
                              const CpuConfig& cpu, const RsConfig& config,
                              const ExperimentOptions& options = {});
 
 /// Convenience: simulated WP2 throughput of one configuration (used as the
-/// optimizer objective for the "Optimal k" rows).
+/// optimizer objective for the "Optimal k" rows). Oracle-backed like
+/// run_experiment.
 double simulate_wp2_throughput(const ProgramSpec& program,
                                const CpuConfig& cpu,
                                const std::map<std::string, int>& rs,
@@ -86,6 +99,12 @@ class ParallelSweep {
   ParallelSweep(ProgramSpec program, CpuConfig cpu,
                 ExperimentOptions options = {});
 
+  /// Evaluates against `oracle` instead of the process-wide shared one
+  /// (tests isolate cache statistics this way). The oracle's per-key
+  /// once-semantics make the pooled sweep run the golden exactly once even
+  /// when every worker asks for it simultaneously.
+  void set_oracle(sim::SimOracle* oracle) { oracle_ = oracle; }
+
   /// Runs run_experiment for every configuration. nullptr pool uses
   /// ThreadPool::shared().
   std::vector<ExperimentRow> run(const std::vector<RsConfig>& configs,
@@ -101,6 +120,7 @@ class ParallelSweep {
   ProgramSpec program_;
   CpuConfig cpu_;
   ExperimentOptions options_;
+  sim::SimOracle* oracle_ = nullptr;  ///< nullptr → SimOracle::shared()
 };
 
 }  // namespace wp::proc

@@ -1,0 +1,52 @@
+// Golden/WP1/WP2 simulation of a netlist-language system (the generated
+// `randommoore` ensembles' opt-in simulated-throughput path).
+//
+// Generated systems never halt, so the measurement is horizon-based: the
+// golden reference runs `golden_cycles` cycles (every process fires every
+// cycle — throughput 1 by construction) and each wire-pipelined variant
+// runs `wp_cycles` cycles under the supplied relay-station map. Simulated
+// throughput is the slowest shell's sustained firing rate, directly
+// comparable to the static m/(m+n) min-cycle-ratio bound; equivalence is
+// the usual τ-filtered prefix check against the golden trace.
+//
+// The golden run is keyed by (netlist text, horizon) in a GoldenCache —
+// relay stations don't exist in the golden system, so one cached record
+// serves the WP1 evaluation, the WP2 evaluation, their equivalence checks
+// and any repeat evaluation of the same sample.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/golden_cache.hpp"
+
+namespace wp::sim {
+
+struct NetlistSimOptions {
+  std::uint64_t golden_cycles = 256;  ///< golden horizon (trace length)
+  std::uint64_t wp_cycles = 1536;     ///< WP1/WP2 horizon
+  std::size_t fifo_capacity = 16;
+  bool check_equivalence = true;
+};
+
+struct NetlistSimResult {
+  double th_wp1 = 0.0;  ///< min over shells of firings / wp_cycles
+  double th_wp2 = 0.0;
+  std::uint64_t wp1_firings = 0;  ///< slowest shell's firing count
+  std::uint64_t wp2_firings = 0;
+  bool wp1_equivalent = true;
+  bool wp2_equivalent = true;
+  std::uint64_t golden_fingerprint = 0;
+  std::string detail;  ///< first failure (non-equivalence / deadlock)
+};
+
+/// Simulates the golden/WP1/WP2 triple of `netlist` under the per-connection
+/// relay-station map `rs` (missing connections → 0, overriding any rs=
+/// annotations in the text). `cache` may be nullptr (fresh golden run).
+NetlistSimResult simulate_netlist(const std::string& netlist,
+                                  const std::map<std::string, int>& rs,
+                                  const NetlistSimOptions& options = {},
+                                  GoldenCache* cache = nullptr);
+
+}  // namespace wp::sim

@@ -1,0 +1,42 @@
+#include "util/hash.hpp"
+
+namespace wp {
+
+std::uint64_t hash_bytes(const void* data, std::size_t size,
+                         std::uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_string(const std::string& text, std::uint64_t seed) {
+  return hash_bytes(text.data(), text.size(), seed);
+}
+
+std::uint64_t hash_combine(std::uint64_t state, std::uint64_t value) {
+  // splitmix64 finalizer over the xor-fold: cheap, well-avalanched.
+  std::uint64_t x = state ^ (value + 0x9e3779b97f4a7c15ULL +
+                             (state << 6) + (state >> 2));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::string hash_hex(std::uint64_t value) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace wp

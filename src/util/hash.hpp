@@ -1,0 +1,29 @@
+// Small deterministic hashing helpers (FNV-1a over bytes plus a mixing
+// combiner). Used wherever the codebase needs a stable content digest that
+// is identical across platforms and runs — cache keys for the simulation
+// oracle, trace fingerprints — so std::hash (implementation-defined) is
+// deliberately avoided.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wp {
+
+/// FNV-1a over a byte range.
+std::uint64_t hash_bytes(const void* data, std::size_t size,
+                         std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// FNV-1a over the characters of a string.
+std::uint64_t hash_string(const std::string& text,
+                          std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Order-sensitive combiner: folds `value` into `state` with an avalanche
+/// mix, so sequences hash differently under permutation.
+std::uint64_t hash_combine(std::uint64_t state, std::uint64_t value);
+
+/// Fixed-width lowercase hex rendering (16 digits), for readable cache keys.
+std::string hash_hex(std::uint64_t value);
+
+}  // namespace wp

@@ -399,6 +399,81 @@ TEST(Ensemble, CycleCapRecordsOverflowAsUncounted) {
   EXPECT_DOUBLE_EQ(report.families[0].cycles_mean, 0.0);
 }
 
+TEST(Ensemble, SimulateModeIsDeterministicAndEquivalent) {
+  EnsembleConfig config = small_ensemble();
+  config.families.resize(1);  // ba-10 only, for wall-clock
+  config.anneal.iterations = 150;
+  config.simulate.enabled = true;
+  config.simulate.golden_cycles = 96;
+  config.simulate.wp_cycles = 384;
+
+  const EnsembleReport sequential = run_ensemble_sequential(config);
+  ThreadPool pool(2);
+  const EnsembleReport pooled = run_ensemble(config, &pool);
+  EXPECT_TRUE(sequential.samples == pooled.samples);
+
+  for (const auto& s : sequential.samples) {
+    EXPECT_TRUE(s.simulated);
+    EXPECT_TRUE(s.sim_ok);  // WP runs τ-equivalent to the cached golden
+    EXPECT_GT(s.th_wp1_sim, 0.0);
+    EXPECT_LE(s.th_wp1_sim, 1.0);
+    // The paper's ordering: the WP2 oracle never loses to WP1.
+    EXPECT_GE(s.th_wp2_sim + 1e-9, s.th_wp1_sim);
+  }
+  // One golden run per distinct netlist, shared by WP1 and WP2.
+  EXPECT_EQ(sequential.sim_golden_runs, sequential.samples.size());
+  ASSERT_EQ(sequential.families.size(), 1u);
+  EXPECT_GT(sequential.families[0].th_wp2_sim_mean, 0.0);
+  EXPECT_EQ(sequential.families[0].sim_failures, 0u);
+}
+
+TEST(Ensemble, SimulateOffLeavesSimColumnsInert) {
+  EnsembleConfig config = small_ensemble();
+  config.families.resize(1);
+  config.samples_per_family = 1;
+  const EnsembleReport report = run_ensemble_sequential(config);
+  EXPECT_FALSE(report.samples[0].simulated);
+  EXPECT_EQ(report.samples[0].th_wp2_sim, 0.0);
+  EXPECT_EQ(report.sim_golden_runs, 0u);
+  EXPECT_DOUBLE_EQ(report.families[0].th_wp2_sim_mean, 0.0);
+}
+
+TEST(Ensemble, FamilySeedsAreIndependentOfListPosition) {
+  // Seeds are keyed on the family name, so filtering or reordering the
+  // family list (bench_ensembles --families) reproduces the full run's
+  // rows bit for bit.
+  const EnsembleConfig both = small_ensemble();
+  EnsembleConfig only_second = both;
+  only_second.families = {both.families[1]};
+  const EnsembleReport full = run_ensemble_sequential(both);
+  const EnsembleReport filtered = run_ensemble_sequential(only_second);
+  const auto per_family =
+      static_cast<std::size_t>(both.samples_per_family);
+  ASSERT_EQ(filtered.samples.size(), per_family);
+  for (std::size_t i = 0; i < per_family; ++i)
+    EXPECT_TRUE(filtered.samples[i] == full.samples[per_family + i]) << i;
+}
+
+TEST(Ensemble, PerFamilyAnnealIterationsOverride) {
+  // Override equal to the global budget: bit-identical samples.
+  EnsembleConfig base = small_ensemble();
+  base.families.resize(1);
+  base.samples_per_family = 2;
+  EnsembleConfig overridden = base;
+  overridden.anneal.iterations = 9999;  // would change results...
+  overridden.families[0].anneal_iterations =
+      base.anneal.iterations;  // ...but the override wins
+  const EnsembleReport a = run_ensemble_sequential(base);
+  const EnsembleReport b = run_ensemble_sequential(overridden);
+  EXPECT_TRUE(a.samples == b.samples);
+
+  // A genuinely smaller budget changes the annealed placement.
+  EnsembleConfig smaller = base;
+  smaller.families[0].anneal_iterations = 50;
+  const EnsembleReport c = run_ensemble_sequential(smaller);
+  EXPECT_FALSE(a.samples == c.samples);
+}
+
 TEST(Ensemble, CsvRowCounts) {
   const EnsembleConfig config = small_ensemble();
   const EnsembleReport report = run_ensemble_sequential(config);
