@@ -111,7 +111,7 @@ bool run_and_report(const wp::gen::EnsembleConfig& config,
 
   TextTable table({"family", "samples", "Th mean", "Th p95", "Th min",
                    "Th wp1 sim", "Th wp2 sim", "sim fail", "RS mean",
-                   "area mean", "anneal ms"});
+                   "area mean", "anneal ms", "th-eval ms"});
   table.add_separator();
   for (const auto& f : parallel.families) {
     // Sim columns show "-" when the triple was not simulated (--no-sim):
@@ -124,9 +124,25 @@ bool run_and_report(const wp::gen::EnsembleConfig& config,
                    sim ? fmt_fixed(f.th_wp2_sim_mean, 3) : std::string("-"),
                    sim ? std::to_string(f.sim_failures) : std::string("-"),
                    fmt_fixed(f.rs_mean, 1), fmt_fixed(f.area_mean, 1),
-                   fmt_fixed(f.anneal_ms_mean, 1)});
+                   fmt_fixed(f.anneal_ms_mean, 1),
+                   fmt_fixed(f.throughput_ms_mean, 1)});
   }
   table.print(std::cout);
+
+  {
+    const std::uint64_t engine_queries =
+        parallel.engine_incremental + parallel.engine_fallbacks;
+    std::cout << "throughput engine: " << engine_queries
+              << " min-cycle-ratio queries, " << parallel.engine_incremental
+              << " incremental / " << parallel.engine_fallbacks
+              << " cold re-solves ("
+              << fmt_percent(engine_queries == 0
+                                 ? 0.0
+                                 : static_cast<double>(
+                                       parallel.engine_incremental) /
+                                       static_cast<double>(engine_queries))
+              << " incremental)\n";
+  }
 
   std::cout << "sequential " << fmt_fixed(sequential_s, 2) << " s, pooled "
             << fmt_fixed(parallel_s, 2) << " s (speedup "

@@ -5,20 +5,29 @@
 // annealing, under WP1 and WP2 execution of the real programs.
 //
 // The multi-seed restarts run on the shared thread pool (anneal_parallel),
-// each with a private warm-started Howard throughput oracle. A final
-// section times the packing engines head to head: naive O(n²) pack() vs
-// pack_fast() vs the IncrementalPacker's per-move delta evaluation, plus
-// whole annealing runs under each engine.
+// each with a private incremental throughput engine. Two head-to-head
+// sections time the hot-loop machinery: the packing engines (naive O(n²)
+// pack() vs pack_fast() vs the IncrementalPacker delta path) and the
+// throughput oracles (ThroughputEvaluator reference vs the incremental
+// ThroughputEngine), asserting bit-identical results as they run.
+//
+// Machine-readable trajectory: every run writes the per-stage timings
+// (pack ms, throughput-eval ms, whole-anneal ms, engine hit rates) as
+// JSON — default BENCH_floorplan.json, override with --json PATH — which
+// Release CI uploads as a per-commit artifact.
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "floorplan/annealer.hpp"
 #include "floorplan/instances.hpp"
 #include "floorplan/pack_engine.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/throughput.hpp"
+#include "graph/throughput_engine.hpp"
 #include "proc/experiment.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -42,10 +51,32 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Rows collected for the JSON artifact.
+struct FloorplanRow {
+  std::string objective;
+  double area = 0, wirelength = 0, static_th = 0, th_wp1 = 0, th_wp2 = 0;
+};
+struct PackingRow {
+  std::size_t blocks = 0;
+  double naive_ms = 0, fast_ms = 0, incr_us = 0;
+};
+struct AnnealEngineRow {
+  std::size_t blocks = 0;
+  std::string engine;
+  double anneal_ms = 0, pack_ms = 0;
+};
+struct OracleRow {
+  std::size_t blocks = 0;
+  std::string oracle;
+  double anneal_ms = 0, throughput_ms = 0;
+  int evals = 0;
+  std::uint64_t incremental = 0, fallbacks = 0;
+};
+
 /// Times the three packing paths on one instance size. Equality of the
 /// engines is asserted as the timing loops run — the bench doubles as a
 /// smoke differential check (the exhaustive one is test_pack_equivalence).
-void bench_packing_engines(wp::TextTable& table, std::size_t blocks) {
+PackingRow bench_packing_engines(wp::TextTable& table, std::size_t blocks) {
   const Instance inst = wp::fplan::synthetic_instance(blocks, 11);
   wp::Rng rng(1);
 
@@ -91,6 +122,7 @@ void bench_packing_engines(wp::TextTable& table, std::size_t blocks) {
                  wp::fmt_fixed(naive_ms / fast_ms, 1),
                  wp::fmt_fixed(incr_us, 1),
                  wp::fmt_fixed(naive_ms * 1000.0 / incr_us, 1)});
+  return {blocks, naive_ms, fast_ms, incr_us};
 }
 
 double static_throughput_of_demand(
@@ -103,10 +135,23 @@ double static_throughput_of_demand(
   return wp::graph::min_cycle_ratio_lawler(g).ratio;
 }
 
+/// One node per block, one labelled edge per net: the static-analysis
+/// graph of a synthetic instance.
+wp::graph::Digraph graph_of_instance(const Instance& inst) {
+  wp::graph::Digraph g;
+  for (const auto& b : inst.blocks) g.add_node(b.name);
+  for (const auto& n : inst.nets)
+    g.add_edge(n.src_block, n.dst_block, n.connection);
+  return g;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wp;
+
+  const std::string json_path =
+      bench::arg_value(argc, argv, "--json", "BENCH_floorplan.json");
 
   const Instance cpu = fplan::cpu_instance();
   const graph::Digraph cpu_graph = proc::make_cpu_graph();
@@ -115,6 +160,11 @@ int main() {
   // stay un-pipelined; a careless placement forces relay stations onto the
   // fetch loop — the regime where the floorplan objective matters.
   delay.clock_ps = 350.0;
+
+  std::vector<FloorplanRow> floorplan_rows;
+  std::vector<PackingRow> packing_rows;
+  std::vector<AnnealEngineRow> anneal_rows;
+  std::vector<OracleRow> oracle_rows;
 
   TextTable table({"objective", "area (mm^2)", "wirelength (mm)",
                    "static Th", "sim Th WP1", "sim Th WP2"});
@@ -132,7 +182,8 @@ int main() {
 
   for (const bool throughput_driven : {false, true}) {
     // Best of five annealing seeds (11..15) under each objective, fanned
-    // out over the pool; selection is deterministic best-of.
+    // out over the pool; selection is deterministic best-of. Each restart
+    // owns a private incremental throughput engine.
     ParallelAnnealOptions parallel;
     parallel.base.iterations = 20000;
     parallel.base.seed = 11;
@@ -140,8 +191,8 @@ int main() {
     parallel.restarts = 5;
     if (throughput_driven) {
       parallel.base.weight_throughput = 500.0;
-      parallel.throughput_factory = [&cpu_graph]() {
-        return graph::ThroughputEvaluator(cpu_graph);
+      parallel.engine_factory = [&cpu_graph]() {
+        return std::make_unique<graph::ThroughputEngine>(cpu_graph);
       };
     }
     const AnnealResult result = fplan::anneal_parallel(cpu, parallel);
@@ -152,12 +203,18 @@ int main() {
     const proc::ExperimentRow row =
         run_experiment(program, {}, config, options);
 
-    table.add_row({throughput_driven ? "area+WL+throughput" : "area+WL",
-                   fmt_fixed(result.area, 1),
-                   fmt_fixed(result.wirelength, 1),
-                   fmt_fixed(static_throughput_of_demand(cpu_graph, demand),
-                             3),
-                   fmt_fixed(row.th_wp1, 3), fmt_fixed(row.th_wp2, 3)});
+    FloorplanRow out;
+    out.objective = throughput_driven ? "area+WL+throughput" : "area+WL";
+    out.area = result.area;
+    out.wirelength = result.wirelength;
+    out.static_th = static_throughput_of_demand(cpu_graph, demand);
+    out.th_wp1 = row.th_wp1;
+    out.th_wp2 = row.th_wp2;
+    floorplan_rows.push_back(out);
+    table.add_row({out.objective, fmt_fixed(out.area, 1),
+                   fmt_fixed(out.wirelength, 1),
+                   fmt_fixed(out.static_th, 3), fmt_fixed(out.th_wp1, 3),
+                   fmt_fixed(out.th_wp2, 3)});
   }
   table.print(std::cout);
   std::cout << "Throughput-aware floorplanning keeps the critical loops "
@@ -172,15 +229,11 @@ int main() {
   synth.add_separator();
   for (const std::size_t blocks : {10u, 20u, 33u}) {
     const Instance inst = fplan::synthetic_instance(blocks, 7);
-    // Static analysis graph: one node per block, one edge per net.
-    graph::Digraph g;
-    for (const auto& b : inst.blocks) g.add_node(b.name);
-    for (const auto& n : inst.nets)
-      g.add_edge(n.src_block, n.dst_block, n.connection);
+    const graph::Digraph g = graph_of_instance(inst);
     double th[2] = {0, 0};
     for (const bool driven : {false, true}) {
       // Best of three seeds (3..5), judged by the achieved static
-      // throughput; the seeds run concurrently, each with its own oracle.
+      // throughput; the seeds run concurrently, each with its own engine.
       const std::uint64_t base_seed = 3;
       double seed_th[3] = {0, 0, 0};
       ThreadPool::shared().parallel_for(0, 3, [&](std::size_t i) {
@@ -188,13 +241,14 @@ int main() {
         anneal_options.iterations = 6000;
         anneal_options.seed = base_seed + i;
         anneal_options.delay_model = delay;
-        graph::ThroughputEvaluator oracle(g);
+        graph::ThroughputEngine engine(g);
         if (driven) {
           anneal_options.weight_throughput = 100.0;
-          anneal_options.throughput_fn = oracle;
+          anneal_options.throughput_engine = &engine;
         }
         const AnnealResult result = fplan::anneal(inst, anneal_options);
-        seed_th[i] = oracle(rs_demand(inst, result.placement, delay));
+        seed_th[i] = engine.throughput(rs_demand(inst, result.placement,
+                                                 delay));
       });
       for (const double th_i : seed_th)
         th[driven ? 1 : 0] = std::max(th[driven ? 1 : 0], th_i);
@@ -213,12 +267,12 @@ int main() {
                     "incremental delta)");
   packt.add_separator();
   for (const std::size_t blocks : {33u, 100u, 150u})
-    bench_packing_engines(packt, blocks);
+    packing_rows.push_back(bench_packing_engines(packt, blocks));
   packt.print(std::cout);
 
   // Whole annealing runs under each engine: the end-to-end effect on the
   // path both anneal_parallel and the ensemble runner sit on.
-  TextTable annealt({"blocks", "engine", "anneal ms", "speedup"});
+  TextTable annealt({"blocks", "engine", "anneal ms", "pack ms", "speedup"});
   annealt.add_section("Area-driven anneal, 3000 iterations per run");
   annealt.add_separator();
   for (const std::size_t blocks : {33u, 100u, 150u}) {
@@ -226,17 +280,20 @@ int main() {
     double engine_ms[2] = {0, 0};
     AnnealResult results[2];
     for (const PackEngine engine : {PackEngine::kNaive, PackEngine::kFast}) {
-      AnnealOptions options;
-      options.iterations = 3000;
-      options.seed = 4;
-      options.pack_engine = engine;
+      AnnealOptions anneal_options;
+      anneal_options.iterations = 3000;
+      anneal_options.seed = 4;
+      anneal_options.pack_engine = engine;
       const auto start = std::chrono::steady_clock::now();
       const std::size_t idx = engine == PackEngine::kFast ? 1 : 0;
-      results[idx] = fplan::anneal(inst, options);
+      results[idx] = fplan::anneal(inst, anneal_options);
       engine_ms[idx] = ms_since(start);
+      anneal_rows.push_back({blocks, fplan::pack_engine_name(engine),
+                             engine_ms[idx], results[idx].pack_ms});
       annealt.add_row({std::to_string(blocks),
                        fplan::pack_engine_name(engine),
                        fmt_fixed(engine_ms[idx], 1),
+                       fmt_fixed(results[idx].pack_ms, 1),
                        idx == 0 ? "1.0"
                                 : fmt_fixed(engine_ms[0] / engine_ms[1], 1)});
     }
@@ -247,5 +304,135 @@ int main() {
     }
   }
   annealt.print(std::cout);
+
+  // Throughput-oracle head-to-head: the evaluator reference (whole-graph
+  // RS reset + cold certification per demand) vs the incremental engine
+  // (in-place deltas + lazily repaired certificate), on throughput-driven
+  // anneals of the synthetic SoCs. The trajectories must be bit-identical;
+  // the win is the throughput-eval share of the anneal.
+  TextTable oraclet({"blocks", "oracle", "anneal ms", "th-eval ms",
+                     "th share", "th-eval speedup", "incr", "cold"});
+  oraclet.add_section(
+      "Throughput oracles (evaluator reference vs incremental engine), "
+      "throughput-driven anneal, 4000 iterations");
+  oraclet.add_separator();
+  for (const std::size_t blocks : {33u, 100u, 150u}) {
+    const Instance inst = fplan::synthetic_instance(blocks, 7);
+    const graph::Digraph g = graph_of_instance(inst);
+    AnnealResult results[2];
+    for (const bool use_engine : {false, true}) {
+      AnnealOptions anneal_options;
+      anneal_options.iterations = 4000;
+      anneal_options.seed = 9;
+      anneal_options.delay_model = delay;
+      anneal_options.weight_throughput = 100.0;
+      graph::ThroughputEvaluator evaluator(g);
+      graph::ThroughputEngine engine(g);
+      if (use_engine)
+        anneal_options.throughput_engine = &engine;
+      else
+        anneal_options.throughput_fn = std::ref(evaluator);
+      const auto start = std::chrono::steady_clock::now();
+      const std::size_t idx = use_engine ? 1 : 0;
+      results[idx] = fplan::anneal(inst, anneal_options);
+      const double anneal_ms = ms_since(start);
+
+      OracleRow row;
+      row.blocks = blocks;
+      row.oracle = use_engine ? "engine" : "evaluator";
+      row.anneal_ms = anneal_ms;
+      row.throughput_ms = results[idx].throughput_ms;
+      row.evals = results[idx].throughput_evals;
+      row.incremental = results[idx].engine_incremental;
+      row.fallbacks = results[idx].engine_fallbacks;
+      oracle_rows.push_back(row);
+      oraclet.add_row(
+          {std::to_string(blocks), row.oracle, fmt_fixed(anneal_ms, 1),
+           fmt_fixed(row.throughput_ms, 1),
+           fmt_percent(row.throughput_ms / anneal_ms),
+           use_engine ? fmt_fixed(oracle_rows[oracle_rows.size() - 2]
+                                          .throughput_ms /
+                                      row.throughput_ms,
+                                  1)
+                      : std::string("1.0"),
+           use_engine ? std::to_string(row.incremental) : "-",
+           use_engine ? std::to_string(row.fallbacks) : "-"});
+    }
+    if (results[0].cost != results[1].cost ||
+        results[0].placement.x != results[1].placement.x ||
+        results[0].throughput != results[1].throughput) {
+      std::cerr << "THROUGHPUT ORACLE DIVERGENCE at n=" << blocks << "\n";
+      return 1;
+    }
+  }
+  oraclet.print(std::cout);
+  std::cout << "Both oracles return bit-identical ratios (asserted above); "
+               "the engine turns\nthe per-eval cold O(V*E) certification "
+               "into an O(E) certificate repair.\n\n";
+
+  // ---------------------------------------------------- JSON artifact
+  {
+    std::ofstream file(json_path);
+    if (!file) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    wp::bench::JsonWriter json(file);
+    json.begin_object();
+    json.field("schema", "wirepipe-bench-floorplan/1");
+    json.field("workers", ThreadPool::shared().size());
+    json.key("floorplan").begin_array();
+    for (const auto& r : floorplan_rows) {
+      json.begin_object();
+      json.field("objective", r.objective)
+          .field("area_mm2", r.area)
+          .field("wirelength_mm", r.wirelength)
+          .field("static_th", r.static_th)
+          .field("th_wp1", r.th_wp1)
+          .field("th_wp2", r.th_wp2);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("packing").begin_array();
+    for (const auto& r : packing_rows) {
+      json.begin_object();
+      json.field("blocks", r.blocks)
+          .field("naive_ms_per_pack", r.naive_ms)
+          .field("fast_ms_per_pack", r.fast_ms)
+          .field("fast_speedup", r.naive_ms / r.fast_ms)
+          .field("incremental_us_per_move", r.incr_us)
+          .field("move_speedup", r.naive_ms * 1000.0 / r.incr_us);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("anneal").begin_array();
+    for (const auto& r : anneal_rows) {
+      json.begin_object();
+      json.field("blocks", r.blocks)
+          .field("pack_engine", r.engine)
+          .field("anneal_ms", r.anneal_ms)
+          .field("pack_ms", r.pack_ms);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("throughput_oracle").begin_array();
+    for (const auto& r : oracle_rows) {
+      json.begin_object();
+      json.field("blocks", r.blocks)
+          .field("oracle", r.oracle)
+          .field("anneal_ms", r.anneal_ms)
+          .field("throughput_eval_ms", r.throughput_ms)
+          .field("throughput_share", r.throughput_ms / r.anneal_ms)
+          .field("throughput_evals", r.evals)
+          .field("engine_incremental", r.incremental)
+          .field("engine_fallbacks", r.fallbacks);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    file << "\n";
+  }
+  std::cout << "wrote " << json_path
+            << " (per-stage ms + engine hit rates)\n";
   return 0;
 }

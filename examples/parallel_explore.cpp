@@ -9,7 +9,7 @@
 
 #include "floorplan/annealer.hpp"
 #include "floorplan/instances.hpp"
-#include "graph/throughput.hpp"
+#include "graph/throughput_engine.hpp"
 #include "proc/cpu.hpp"
 #include "proc/experiment.hpp"
 #include "sim/oracle.hpp"
@@ -48,8 +48,8 @@ int main() {
   job.base.weight_throughput = 500.0;
   job.base.delay_model.clock_ps = 350.0;
   job.restarts = 8;
-  job.throughput_factory = [&cpu_graph]() {
-    return graph::ThroughputEvaluator(cpu_graph);
+  job.engine_factory = [&cpu_graph]() {
+    return std::make_unique<graph::ThroughputEngine>(cpu_graph);
   };
 
   std::cout << "Parallel exploration engine — " << job.restarts
@@ -63,7 +63,8 @@ int main() {
   for (int i = 0; i < job.restarts; ++i) {
     fplan::AnnealOptions options = job.base;
     options.seed = job.base.seed + static_cast<std::uint64_t>(i);
-    options.throughput_fn = job.throughput_factory();
+    const auto engine = job.engine_factory();
+    options.throughput_engine = engine.get();
     fplan::AnnealResult restart = fplan::anneal(cpu, options);
     if (i == 0 || restart.cost < sequential.cost)
       sequential = std::move(restart);
@@ -94,9 +95,11 @@ int main() {
             << "x   best results bit-identical: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
   std::cout << "cache: " << parallel.throughput_evals
-            << " full min-cycle-ratio solves, "
-            << parallel.throughput_cache_hits
-            << " served from the demand memo (best restart)\n\n";
+            << " min-cycle-ratio queries, " << parallel.throughput_cache_hits
+            << " served from the demand memo; engine: "
+            << parallel.engine_incremental << " incremental / "
+            << parallel.engine_fallbacks
+            << " cold re-solves (best restart)\n\n";
 
   // A relay-station sweep fanned over the same pool: every point is a
   // WP1/WP2 simulation pair against the shared cached golden (the

@@ -1,5 +1,6 @@
 #include "floorplan/annealer.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <string>
@@ -8,12 +9,20 @@
 #include <vector>
 
 #include "floorplan/pack_engine.hpp"
+#include "graph/throughput_engine.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wp::fplan {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
 
 /// The single place the annealing objective is assembled; CostModel (the
 /// search path) and placement_cost (the reporting path) must agree.
@@ -34,8 +43,10 @@ class CostModel {
       : inst_(inst), options_(options),
         use_throughput_(options.weight_throughput > 0.0) {
     if (use_throughput_) {
-      WP_REQUIRE(static_cast<bool>(options_.throughput_fn),
-                 "throughput weight set but no throughput_fn provided");
+      WP_REQUIRE(options_.throughput_engine != nullptr ||
+                     static_cast<bool>(options_.throughput_fn),
+                 "throughput weight set but neither throughput_engine nor "
+                 "throughput_fn provided");
     }
   }
 
@@ -61,7 +72,11 @@ class CostModel {
       if (stats) ++stats->throughput_cache_hits;
       return it->second;
     }
-    const double th = options_.throughput_fn(demand);
+    const auto oracle_start = Clock::now();
+    const double th = options_.throughput_engine != nullptr
+                          ? options_.throughput_engine->throughput(demand)
+                          : options_.throughput_fn(demand);
+    if (stats) stats->throughput_ms += ms_since(oracle_start);
     if (cache_.size() >= kMaxEntries) cache_.clear();
     cache_.emplace(std::move(key), th);
     if (stats) ++stats->throughput_evals;
@@ -85,10 +100,14 @@ double placement_cost(const Instance& inst, const Placement& placement,
   const double wl = total_wirelength(inst, placement);
   double th = 1.0;
   if (options.weight_throughput > 0.0) {
-    WP_REQUIRE(static_cast<bool>(options.throughput_fn),
-               "throughput weight set but no throughput_fn provided");
-    th = options.throughput_fn(
-        rs_demand(inst, placement, options.delay_model));
+    WP_REQUIRE(options.throughput_engine != nullptr ||
+                   static_cast<bool>(options.throughput_fn),
+               "throughput weight set but neither throughput_engine nor "
+               "throughput_fn provided");
+    const auto demand = rs_demand(inst, placement, options.delay_model);
+    th = options.throughput_engine != nullptr
+             ? options.throughput_engine->throughput(demand)
+             : options.throughput_fn(demand);
   }
   if (area_out) *area_out = area;
   if (wl_out) *wl_out = wl;
@@ -103,6 +122,9 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
 
   AnnealResult best;
   best.seed = options.seed;
+  const graph::ThroughputEngine::Stats engine_before =
+      options.throughput_engine != nullptr ? options.throughput_engine->stats()
+                                           : graph::ThroughputEngine::Stats{};
   CostModel model(inst, options);
   SequencePair current = SequencePair::random(inst.blocks.size(), rng);
 
@@ -111,10 +133,12 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
   // Placements are bit-identical either way, so the accept/reject stream —
   // and hence the whole trajectory — is engine-independent.
   const bool fast = options.pack_engine == PackEngine::kFast;
+  const auto initial_pack_start = Clock::now();
   std::optional<IncrementalPacker> packer;
   if (fast) packer.emplace(inst, current);
   Placement scratch;
   if (!fast) scratch = pack(inst, current);
+  best.pack_ms += ms_since(initial_pack_start);
   const Placement* placement = fast ? &packer->placement() : &scratch;
   double current_cost = model.cost(*placement, &best);
 
@@ -126,6 +150,7 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
                        std::max(current_cost, 1e-9);
   for (int it = 0; it < options.iterations; ++it) {
     const AppliedMove move = random_move(current, rng);
+    const auto pack_start = Clock::now();
     const Placement* candidate;
     if (fast) {
       candidate = &packer->apply(move);
@@ -133,6 +158,7 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
       scratch = pack(inst, current);
       candidate = &scratch;
     }
+    best.pack_ms += ms_since(pack_start);
     const double cost = model.cost(*candidate, &best);
     ++best.evaluations;
     const double delta = cost - current_cost;
@@ -154,12 +180,26 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
 
   placement_cost(inst, best.placement, options, &best.area,
                  &best.wirelength, &best.throughput);
+  if (options.throughput_engine != nullptr) {
+    const graph::ThroughputEngine::Stats after =
+        options.throughput_engine->stats();
+    best.engine_incremental =
+        after.incremental() - engine_before.incremental();
+    best.engine_fallbacks = after.fallbacks - engine_before.fallbacks;
+  }
   return best;
 }
 
 AnnealResult anneal_parallel(const Instance& inst,
                              const ParallelAnnealOptions& options) {
   WP_REQUIRE(options.restarts > 0, "need at least one restart");
+  // A ThroughputEngine is stateful and single-threaded; a pre-set
+  // base.throughput_engine would be shared by every pool worker. Refuse
+  // loudly instead of racing.
+  WP_REQUIRE(options.base.throughput_engine == nullptr ||
+                 static_cast<bool>(options.engine_factory),
+             "base.throughput_engine cannot be shared across restarts — "
+             "provide engine_factory for per-restart engines");
   ThreadPool& pool =
       options.pool != nullptr ? *options.pool : ThreadPool::shared();
 
@@ -168,8 +208,15 @@ AnnealResult anneal_parallel(const Instance& inst,
   pool.parallel_for(0, restarts, [&](std::size_t i) {
     AnnealOptions per_restart = options.base;
     per_restart.seed = options.base.seed + i;
-    if (options.throughput_factory)
+    std::unique_ptr<graph::ThroughputEngine> engine;
+    if (options.engine_factory) {
+      // A private incremental oracle per restart: the engine's Howard
+      // state, mutation trail and certificate are all worker-local.
+      engine = options.engine_factory();
+      per_restart.throughput_engine = engine.get();
+    } else if (options.throughput_factory) {
       per_restart.throughput_fn = options.throughput_factory();
+    }
     results[i] = anneal(inst, per_restart);
   });
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "floorplan/model.hpp"
 #include "floorplan/pack_engine.hpp"
@@ -15,6 +16,10 @@
 
 namespace wp {
 class ThreadPool;
+}
+
+namespace wp::graph {
+class ThroughputEngine;
 }
 
 namespace wp::fplan {
@@ -29,8 +34,17 @@ struct AnnealOptions {
   /// Weight on (1 - system throughput); 0 = classic area/WL floorplanning.
   double weight_throughput = 0.0;
   /// Computes the system throughput from per-connection RS demand; required
-  /// when weight_throughput > 0 (typically graph min-cycle-ratio).
+  /// when weight_throughput > 0 (typically graph min-cycle-ratio) unless
+  /// `throughput_engine` is set.
   ThroughputFn throughput_fn;
+  /// Incremental throughput oracle (non-owning). When set it takes
+  /// precedence over throughput_fn: the annealer queries it directly —
+  /// results are bit-identical to a fresh min-cycle-ratio solve per demand
+  /// (the engine's exact-fallback contract) — and records its
+  /// hit/fallback counters in AnnealResult. Engines are stateful and not
+  /// thread-safe: one engine per concurrent run (anneal_parallel spawns
+  /// one per restart via ParallelAnnealOptions::engine_factory).
+  graph::ThroughputEngine* throughput_engine = nullptr;
   WireDelayModel delay_model;
 
   int iterations = 20000;
@@ -58,6 +72,18 @@ struct AnnealResult {
   /// min-cycle-ratio query is skipped for them.
   int throughput_evals = 0;
   int throughput_cache_hits = 0;
+  /// ThroughputEngine counter deltas for this run (zeros when the run used
+  /// a plain throughput_fn): oracle queries resolved incrementally
+  /// (unchanged demand, or the dual certificate held/repaired) vs cold
+  /// certified re-solves. incremental + fallbacks equals the engine
+  /// queries the run issued.
+  std::uint64_t engine_incremental = 0;
+  std::uint64_t engine_fallbacks = 0;
+  /// Wall-clock breakdown (informational, never compared): time inside
+  /// packing calls and inside the throughput oracle, for the bench
+  /// tables/JSON showing each stage's share of the anneal.
+  double pack_ms = 0.0;
+  double throughput_ms = 0.0;
   std::uint64_t seed = 0;  ///< seed this restart ran with
 };
 
@@ -77,6 +103,11 @@ struct ParallelAnnealOptions {
   /// (e.g. graph::ThroughputEvaluator with its warm-started Howard policy),
   /// which must not be shared across worker threads.
   std::function<ThroughputFn()> throughput_factory;
+  /// When set, called once per restart to build that restart's private
+  /// incremental throughput engine (overrides base.throughput_engine and
+  /// throughput_factory). The engine lives for the duration of the
+  /// restart; its counters land in the restart's AnnealResult.
+  std::function<std::unique_ptr<graph::ThroughputEngine>()> engine_factory;
 };
 
 /// Runs `restarts` independently-seeded annealing restarts on the pool and

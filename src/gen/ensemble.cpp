@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "graph/cycles.hpp"
-#include "graph/throughput.hpp"
+#include "graph/throughput_engine.hpp"
 #include "sim/netlist_sim.hpp"
 #include "util/assert.hpp"
 #include "util/hash.hpp"
@@ -51,25 +51,25 @@ SampleResult run_sample(const EnsembleConfig& config,
 
   // Throughput must be placement-driven: score against the topology with
   // its generator RS annotations cleared, then apply the demand the
-  // annealed placement implies.
+  // annealed placement implies. The sample owns one incremental engine for
+  // its whole lifetime — the RS graph is built once here and every anneal
+  // move mutates it in place.
   graph::Digraph base = topology;
   for (graph::EdgeId e = 0; e < base.num_edges(); ++e)
     base.edge(e).relay_stations = 0;
-  graph::ThroughputEvaluator evaluator(std::move(base));
+  graph::ThroughputEngine engine(std::move(base));
 
   fplan::AnnealOptions options = config.anneal;
   if (family.anneal_iterations > 0)
     options.iterations = family.anneal_iterations;
   options.seed = result.seed;
-  options.throughput_fn =
-      [&evaluator](const std::vector<std::pair<std::string, int>>& demand) {
-        return evaluator(demand);
-      };
+  options.throughput_engine = &engine;
   const auto anneal_start = std::chrono::steady_clock::now();
   const fplan::AnnealResult annealed = fplan::anneal(sys.instance, options);
   result.anneal_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - anneal_start)
                          .count();
+  result.throughput_ms = annealed.throughput_ms;
   result.area = annealed.area;
   result.wirelength = annealed.wirelength;
 
@@ -79,7 +79,9 @@ SampleResult run_sample(const EnsembleConfig& config,
     (void)connection;
     result.total_rs += rs;
   }
-  result.throughput = evaluator(demand);
+  result.throughput = engine.throughput(demand);
+  result.engine_incremental = engine.stats().incremental();
+  result.engine_fallbacks = engine.stats().fallbacks;
 
   if (config.simulate.enabled) {
     // Simulated counterpart of the static bound: the generated netlist's
@@ -123,7 +125,8 @@ std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
   for (std::size_t f = 0; f < config.families.size(); ++f) {
     FamilyStats stats;
     stats.family = config.families[f].name;
-    RunningStats th, rs, area, wl, cycles, anneal_ms, th1_sim, th2_sim;
+    RunningStats th, rs, area, wl, cycles, anneal_ms, th_ms, th1_sim,
+        th2_sim;
     std::vector<double> th_values;
     for (std::size_t i = f * per_family; i < (f + 1) * per_family; ++i) {
       const SampleResult& s = samples[i];
@@ -133,6 +136,7 @@ std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
       area.add(s.area);
       wl.add(s.wirelength);
       anneal_ms.add(s.anneal_ms);
+      th_ms.add(s.throughput_ms);
       if (s.cycles >= 0) cycles.add(static_cast<double>(s.cycles));
       if (s.simulated) {
         th1_sim.add(s.th_wp1_sim);
@@ -151,6 +155,7 @@ std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
       stats.area_mean = area.mean();
       stats.wirelength_mean = wl.mean();
       stats.anneal_ms_mean = anneal_ms.mean();
+      stats.throughput_ms_mean = th_ms.mean();
     }
     stats.cycles_counted = cycles.count();
     if (stats.cycles_counted > 0) stats.cycles_mean = cycles.mean();
@@ -194,6 +199,10 @@ EnsembleReport run_jobs(const EnsembleConfig& config, ThreadPool* pool) {
   const sim::GoldenCache::Stats cache_stats = golden_cache.stats();
   report.sim_golden_runs = cache_stats.golden_runs;
   report.sim_cache_hits = cache_stats.hits;
+  for (const SampleResult& s : report.samples) {
+    report.engine_incremental += s.engine_incremental;
+    report.engine_fallbacks += s.engine_fallbacks;
+  }
   report.families = aggregate(config, report.samples);
   return report;
 }
@@ -201,15 +210,19 @@ EnsembleReport run_jobs(const EnsembleConfig& config, ThreadPool* pool) {
 }  // namespace
 
 bool SampleResult::operator==(const SampleResult& other) const {
-  // anneal_ms is wall-clock and intentionally absent: the sequential vs
-  // pooled determinism check compares results, not timings.
+  // anneal_ms/throughput_ms are wall-clock and intentionally absent: the
+  // sequential vs pooled determinism check compares results, not timings.
+  // The engine counters ARE compared — path selection inside the
+  // throughput engine must be deterministic.
   return family == other.family && sample == other.sample &&
          seed == other.seed && nodes == other.nodes &&
          edges == other.edges && cycles == other.cycles &&
          total_rs == other.total_rs && area == other.area &&
          wirelength == other.wirelength && throughput == other.throughput &&
          simulated == other.simulated && th_wp1_sim == other.th_wp1_sim &&
-         th_wp2_sim == other.th_wp2_sim && sim_ok == other.sim_ok;
+         th_wp2_sim == other.th_wp2_sim && sim_ok == other.sim_ok &&
+         engine_incremental == other.engine_incremental &&
+         engine_fallbacks == other.engine_fallbacks;
 }
 
 EnsembleReport run_ensemble(const EnsembleConfig& config, ThreadPool* pool) {
@@ -224,7 +237,8 @@ void write_samples_csv(const EnsembleReport& report, std::ostream& os) {
   CsvWriter csv(os);
   csv.row({"family", "sample", "seed", "nodes", "edges", "cycles",
            "total_rs", "area_mm2", "wirelength_mm", "throughput",
-           "th_wp1_sim", "th_wp2_sim", "sim_ok", "anneal_ms"});
+           "th_wp1_sim", "th_wp2_sim", "sim_ok", "anneal_ms",
+           "throughput_ms", "engine_incremental", "engine_fallbacks"});
   for (const auto& s : report.samples)
     csv.row({s.family, std::to_string(s.sample), std::to_string(s.seed),
              std::to_string(s.nodes), std::to_string(s.edges),
@@ -234,7 +248,9 @@ void write_samples_csv(const EnsembleReport& report, std::ostream& os) {
              s.simulated ? fmt_fixed(s.th_wp1_sim, 6) : std::string(),
              s.simulated ? fmt_fixed(s.th_wp2_sim, 6) : std::string(),
              std::string(s.simulated ? (s.sim_ok ? "1" : "0") : ""),
-             fmt_fixed(s.anneal_ms, 3)});
+             fmt_fixed(s.anneal_ms, 3), fmt_fixed(s.throughput_ms, 3),
+             std::to_string(s.engine_incremental),
+             std::to_string(s.engine_fallbacks)});
 }
 
 void write_families_csv(const EnsembleReport& report, std::ostream& os) {
@@ -242,7 +258,7 @@ void write_families_csv(const EnsembleReport& report, std::ostream& os) {
   csv.row({"family", "samples", "th_mean", "th_median", "th_p95", "th_min",
            "th_max", "rs_mean", "cycles_mean", "cycles_counted", "area_mean",
            "wirelength_mean", "th_wp1_sim_mean", "th_wp2_sim_mean",
-           "sim_failures", "anneal_ms_mean"});
+           "sim_failures", "anneal_ms_mean", "throughput_ms_mean"});
   for (const auto& f : report.families)
     csv.row({f.family, std::to_string(f.samples), fmt_fixed(f.th_mean, 6),
              fmt_fixed(f.th_median, 6), fmt_fixed(f.th_p95, 6),
@@ -256,7 +272,8 @@ void write_families_csv(const EnsembleReport& report, std::ostream& os) {
                                : std::string(),
              f.sim_samples > 0 ? std::to_string(f.sim_failures)
                                : std::string(),
-             fmt_fixed(f.anneal_ms_mean, 3)});
+             fmt_fixed(f.anneal_ms_mean, 3),
+             fmt_fixed(f.throughput_ms_mean, 3)});
 }
 
 }  // namespace wp::gen

@@ -10,9 +10,10 @@
 //
 // Determinism contract: every sample owns an Rng derived arithmetically
 // from (ensemble seed, family name, sample index) and a private
-// ThroughputEvaluator, so the pooled run writes results into input-order
-// slots and is bit-identical to the sequential run under the same config
-// (checked by test_gen and by bench_ensembles on every invocation).
+// graph::ThroughputEngine (the incremental min-cycle-ratio oracle), so the
+// pooled run writes results into input-order slots and is bit-identical to
+// the sequential run under the same config (checked by test_gen and by
+// bench_ensembles on every invocation).
 #pragma once
 
 #include <cstdint>
@@ -95,10 +96,19 @@ struct SampleResult {
   double th_wp1_sim = 0.0;
   double th_wp2_sim = 0.0;
   bool sim_ok = true;          ///< equivalence + progress verdict
-  /// Wall-clock of this sample's anneal, for the CSV artifact (pack-engine
-  /// speedups show up here). Deliberately excluded from operator== — timing
-  /// is noisy and must not fail the sequential≡pooled determinism check.
+  /// ThroughputEngine counters over the whole sample (anneal moves + final
+  /// scoring query). Deterministic — the demand stream is seed-derived and
+  /// the engine's control flow is pure — so they participate in the
+  /// sequential≡pooled comparison, which then also guards the engine's
+  /// path selection against nondeterminism.
+  std::uint64_t engine_incremental = 0;
+  std::uint64_t engine_fallbacks = 0;
+  /// Wall-clock of this sample's anneal (and the slice of it spent inside
+  /// the throughput oracle), for the CSV artifact. Deliberately excluded
+  /// from operator== — timing is noisy and must not fail the
+  /// sequential≡pooled determinism check.
   double anneal_ms = 0.0;
+  double throughput_ms = 0.0;
 
   bool operator==(const SampleResult& other) const;
 };
@@ -122,6 +132,7 @@ struct FamilyStats {
   double th_wp2_sim_mean = 0.0;
   std::size_t sim_failures = 0;  ///< samples whose sim verdict failed
   double anneal_ms_mean = 0.0;  ///< wall-clock; informational, not compared
+  double throughput_ms_mean = 0.0;  ///< oracle share of the anneal; ditto
 };
 
 struct EnsembleReport {
@@ -132,6 +143,10 @@ struct EnsembleReport {
   /// comparison.
   std::uint64_t sim_golden_runs = 0;
   std::uint64_t sim_cache_hits = 0;
+  /// ThroughputEngine totals summed over all samples: queries the
+  /// incremental certificate absorbed vs cold re-solves.
+  std::uint64_t engine_incremental = 0;
+  std::uint64_t engine_fallbacks = 0;
 };
 
 /// Runs the whole ensemble on the pool (nullptr = ThreadPool::shared()).

@@ -24,10 +24,14 @@ double exact_ratio_of_cycle(const Digraph& g,
   return static_cast<double>(tokens) / static_cast<double>(latency);
 }
 
-/// Bellman–Ford negative-cycle detection on weights
-/// w(e) = tokens_e − λ·latency_e. Returns a negative cycle's edges (empty if
-/// none). Works on the whole (possibly disconnected) graph by starting all
-/// distances at 0 (virtual super-source).
+}  // namespace
+
+namespace detail {
+
+double exact_cycle_ratio(const Digraph& g, const std::vector<EdgeId>& cycle) {
+  return exact_ratio_of_cycle(g, cycle);
+}
+
 std::vector<EdgeId> find_negative_cycle(const Digraph& g, double lambda) {
   const int n = g.num_nodes();
   if (n == 0) return {};
@@ -39,11 +43,12 @@ std::vector<EdgeId> find_negative_cycle(const Digraph& g, double lambda) {
     last_relaxed = -1;
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
       const auto& ed = g.edge(e);
-      const double w = static_cast<double>(ed.tokens) -
-                       lambda * static_cast<double>(g.edge_latency(e));
+      const double tokens = static_cast<double>(ed.tokens);
+      const double lt = lambda * static_cast<double>(g.edge_latency(e));
+      const double w = tokens - lt;
       const auto s = static_cast<std::size_t>(ed.src);
       const auto d = static_cast<std::size_t>(ed.dst);
-      if (dist[s] + w < dist[d] - 1e-15) {
+      if (relax_improves(dist[d], dist[s] + w, std::abs(tokens) + lt)) {
         dist[d] = dist[s] + w;
         pred_edge[d] = e;
         last_relaxed = e;
@@ -69,7 +74,7 @@ std::vector<EdgeId> find_negative_cycle(const Digraph& g, double lambda) {
   return cycle;
 }
 
-bool has_any_cycle(const Digraph& g) {
+bool has_cycle(const Digraph& g) {
   // Kahn's algorithm: the graph has a cycle iff topological sort is partial.
   const int n = g.num_nodes();
   std::vector<int> indegree(static_cast<std::size_t>(n), 0);
@@ -90,6 +95,14 @@ bool has_any_cycle(const Digraph& g) {
   }
   return removed != n;
 }
+
+}  // namespace detail
+
+namespace {
+
+bool has_any_cycle(const Digraph& g) { return detail::has_cycle(g); }
+
+using detail::find_negative_cycle;
 
 }  // namespace
 
@@ -146,7 +159,12 @@ CycleRatioResult min_cycle_ratio_lawler(const Digraph& g, double epsilon) {
   return result;
 }
 
-bool HowardState::valid_for(const Digraph& g) const {
+namespace {
+
+/// True when `policy` is a structurally valid policy vector for `g`
+/// (HowardState::valid_for semantics, usable without copying the vector
+/// into a temporary state — this runs on the per-query hot path).
+bool policy_fits(const Digraph& g, const std::vector<EdgeId>& policy) {
   const int n = g.num_nodes();
   if (static_cast<int>(policy.size()) != n) return false;
   for (NodeId v = 0; v < n; ++v) {
@@ -160,15 +178,23 @@ bool HowardState::valid_for(const Digraph& g) const {
   return true;
 }
 
+}  // namespace
+
+bool HowardState::valid_for(const Digraph& g) const {
+  return policy_fits(g, policy);
+}
+
 CycleRatioResult min_cycle_ratio_howard(const Digraph& g) {
   return min_cycle_ratio_howard(g, nullptr);
 }
 
-CycleRatioResult min_cycle_ratio_howard(const Digraph& g,
-                                        HowardState* state) {
+namespace detail {
+
+CycleRatioResult howard_policy_iteration(const Digraph& g,
+                                         std::vector<EdgeId>& policy,
+                                         int max_iterations) {
   CycleRatioResult result;
   const int n = g.num_nodes();
-  if (n == 0 || !has_any_cycle(g)) return result;
   result.has_cycle = true;
 
   // Work on the subgraph of nodes with out-edges; nodes without successors
@@ -180,9 +206,8 @@ CycleRatioResult min_cycle_ratio_howard(const Digraph& g,
         p[static_cast<std::size_t>(v)] = g.out_edges(v).front();
     return p;
   };
-  bool warm_started = state != nullptr && state->valid_for(g);
-  std::vector<EdgeId> policy =
-      warm_started ? state->policy : default_policy();
+  bool warm_started = policy_fits(g, policy);
+  if (!warm_started) policy = default_policy();
 
   auto edge_cost = [&](EdgeId e) {
     return static_cast<double>(g.edge(e).tokens);
@@ -195,7 +220,18 @@ CycleRatioResult min_cycle_ratio_howard(const Digraph& g,
   double best_ratio = kInf;
   std::vector<EdgeId> best_cycle;
 
-  for (int iteration = 0; iteration < 1000; ++iteration) {
+  // Convergence guard: on dense graphs the improvement scan keeps flipping
+  // the policy between equal-value alternatives — `improved` stays true
+  // while the policy min-ratio has long stopped moving (observed: the
+  // correct ratio by round ~4, churn until the round cap). Stop once the
+  // ratio has been flat for several rounds; exactness is unaffected
+  // because every caller certifies the answer (and falls back to the
+  // parametric search when certification fails).
+  constexpr int kStallRounds = 5;
+  double last_ratio = kInf;
+  int stalled = 0;
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
     // 1. Find the minimum-ratio cycle of the current policy graph: follow
     //    the policy from each unvisited node until a repeat.
     std::vector<int> mark(static_cast<std::size_t>(n), -1);
@@ -287,11 +323,30 @@ CycleRatioResult min_cycle_ratio_howard(const Digraph& g,
       }
     }
     if (!improved) break;
+    if (best_ratio >=
+        last_ratio - 1e-12 * std::max(1.0, std::abs(last_ratio))) {
+      if (++stalled >= kStallRounds) break;
+    } else {
+      stalled = 0;
+    }
+    last_ratio = best_ratio;
   }
 
   result.ratio = exact_ratio_of_cycle(g, best_cycle);
   result.critical_cycle = std::move(best_cycle);
-  if (state != nullptr) state->policy = std::move(policy);
+  return result;
+}
+
+}  // namespace detail
+
+CycleRatioResult min_cycle_ratio_howard(const Digraph& g,
+                                        HowardState* state) {
+  const int n = g.num_nodes();
+  if (n == 0 || !has_any_cycle(g)) return {};
+
+  std::vector<EdgeId> scratch;
+  std::vector<EdgeId>& policy = state != nullptr ? state->policy : scratch;
+  const CycleRatioResult result = detail::howard_policy_iteration(g, policy);
 
   // Certify optimality: no cycle may have a strictly smaller ratio. Policy
   // iteration with a single global ratio can stall on multi-chain policy

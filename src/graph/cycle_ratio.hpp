@@ -15,6 +15,8 @@
 //   * Howard        — policy iteration; fast in practice on large graphs.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 #include <vector>
 
@@ -66,5 +68,62 @@ CycleRatioResult min_cycle_ratio_howard(const Digraph& g, HowardState* state);
 /// an independently testable classic.
 std::optional<double> min_cycle_mean_karp(const Digraph& g,
                                           const std::vector<double>& weight);
+
+namespace detail {
+
+/// Relaxation test shared by every Bellman–Ford-style loop in this module
+/// (Lawler's negative-cycle probe, Howard's certification, the throughput
+/// engine's incremental certificate): `candidate` must beat `current` by a
+/// *relative* slack. The previous absolute 1e-15 threshold let
+/// large-latency graphs (λ·latency products in the millions, whose
+/// rounding noise is ~1e-10) relax forever on float noise and extract
+/// spurious "negative" cycles; scaling the slack to the operand magnitudes
+/// treats that noise as converged while staying far below any genuine
+/// ratio gap. `edge_magnitude` carries the size of the terms the edge
+/// weight was computed from (|tokens| + λ·latency) — the weight itself can
+/// be a tiny difference of huge products, so the distances alone
+/// understate the noise floor.
+inline bool relax_improves(double current, double candidate,
+                           double edge_magnitude) {
+  constexpr double kRelEps = 1e-12;
+  const double scale =
+      std::max(std::max(1.0, edge_magnitude),
+               std::max(std::abs(current), std::abs(candidate)));
+  return candidate < current - kRelEps * scale;
+}
+
+/// True when the graph has at least one cycle (Kahn's algorithm). Exposed
+/// so the throughput engine can decide cyclicity once per instance — it is
+/// a structural property, unaffected by relay-station mutations.
+bool has_cycle(const Digraph& g);
+
+/// Bellman–Ford negative-cycle detection on weights
+/// w(e) = tokens_e − λ·latency_e, starting all distances at 0 (virtual
+/// super-source). Returns one negative cycle's edges, empty if none.
+/// Exposed for the throughput engine's certificate rebuilds and for the
+/// relaxation-tolerance regression tests.
+std::vector<EdgeId> find_negative_cycle(const Digraph& g, double lambda);
+
+/// Exact ratio (token sum / latency sum, integer-summed) of a cycle given
+/// by its edges. Exposed for the throughput engine's candidate-cycle
+/// re-evaluation.
+double exact_cycle_ratio(const Digraph& g, const std::vector<EdgeId>& cycle);
+
+/// The core of Howard's algorithm WITHOUT the optimality certificate: runs
+/// at most `max_iterations` rounds of policy iteration and returns the
+/// best cycle of the final policy graph. That cycle may sit strictly above
+/// the true minimum — when iteration stalls on a multi-chain policy graph,
+/// or when the round budget cuts it short — so callers must certify the
+/// answer: min_cycle_ratio_howard() probes with a cold Bellman–Ford,
+/// graph::ThroughputEngine repairs an incremental dual certificate (a
+/// failed certificate just demotes the answer to a fallback solve, so a
+/// small budget trades hit rate, never correctness). `policy` seeds the
+/// iteration when it fits the graph (rebuilt otherwise) and receives the
+/// final policy. Precondition: `g` has a cycle.
+CycleRatioResult howard_policy_iteration(const Digraph& g,
+                                         std::vector<EdgeId>& policy,
+                                         int max_iterations = 1000);
+
+}  // namespace detail
 
 }  // namespace wp::graph

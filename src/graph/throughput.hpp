@@ -43,11 +43,17 @@ double system_throughput(const Digraph& g);
 /// relay stations. Loops untouched by pipelining run at 1.0.
 double predicted_wp1_throughput(const Digraph& g);
 
-/// Stateful throughput oracle for exploration loops (annealer moves, RS
-/// sweeps): owns a copy of the base graph, applies per-connection relay-
-/// station counts by label, and warm-starts Howard's policy iteration from
-/// the previous query — successive evaluations differ by one move, so the
-/// previous policy is usually one improvement step from certifying.
+/// Stateful throughput oracle: owns a copy of the base graph, applies
+/// per-connection relay-station counts by label, and warm-starts Howard's
+/// policy iteration from the previous query — but still pays a whole-graph
+/// RS reset and a cold certification probe per evaluation.
+///
+/// This is the REFERENCE oracle, kept verbatim as the differential-testing
+/// baseline (the role naive pack() plays for the packing engine): the hot
+/// paths now run graph::ThroughputEngine (throughput_engine.hpp), which is
+/// bit-identical and applies demands as incremental in-place deltas with a
+/// lazily repaired certificate. tests/test_throughput_engine.cpp holds the
+/// two together.
 ///
 /// Returns exactly min_cycle_ratio over the configured graph (Howard is
 /// certified and falls back to the parametric search when the certificate

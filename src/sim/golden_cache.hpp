@@ -43,6 +43,20 @@ struct GoldenRecord {
 /// Order-sensitive digest of a τ-filtered trace (stream names + values).
 std::uint64_t trace_fingerprint(const Trace& trace);
 
+/// Serializes a golden record (with the cache key it belongs to) into the
+/// file at `path` — a small binary format with a magic header and a
+/// whole-payload checksum. Returns false on IO failure (best-effort: the
+/// persistent layer degrades to in-memory behavior).
+bool save_golden_record(const GoldenRecord& record, const std::string& key,
+                        const std::string& path);
+
+/// Loads a record previously written by save_golden_record. Returns
+/// nullptr — never throws — when the file is missing, truncated, fails the
+/// checksum, was written for a different key, or its trace does not match
+/// its stored fingerprint; corrupt files are simply recomputed over.
+std::shared_ptr<const GoldenRecord> load_golden_record(
+    const std::string& path, const std::string& key);
+
 class GoldenCache {
  public:
   /// `max_entries` caps the number of cached records (LRU eviction);
@@ -64,12 +78,29 @@ class GoldenCache {
   std::shared_ptr<const GoldenRecord> get_or_run(const std::string& key,
                                                  const ComputeFn& compute);
 
+  /// Opt-in persistent layer (ROADMAP: reuse golden records across
+  /// processes and CI shards). When a directory is set, the first caller
+  /// of a key probes `dir` before simulating — files are named by a
+  /// content hash of the key — and every freshly computed record is
+  /// written back, so a later process (or an entry evicted by the LRU cap)
+  /// replays the stored golden instead of re-simulating. Probing and
+  /// storing happen inside the key's once-slot, off the cache lock, so
+  /// disk IO never serializes unrelated keys. An empty dir disables the
+  /// layer. Creates the directory (best effort).
+  void set_persist_dir(std::string dir);
+
+  /// The on-disk path a key persists to; empty when persistence is off.
+  /// Exposed for the corruption-tolerance tests.
+  std::string persist_path(const std::string& key) const;
+
   struct Stats {
     std::uint64_t hits = 0;         ///< evaluations served from the cache
     std::uint64_t misses = 0;       ///< evaluations that created a slot
     std::uint64_t golden_runs = 0;  ///< compute() invocations that finished
     std::uint64_t evictions = 0;    ///< records dropped by the size cap
     std::size_t entries = 0;        ///< records currently cached
+    std::uint64_t disk_hits = 0;    ///< golden runs avoided via stored records
+    std::uint64_t disk_stores = 0;  ///< records written to the persist dir
   };
   Stats stats() const;
 
@@ -87,6 +118,7 @@ class GoldenCache {
 
   mutable std::mutex mutex_;
   std::size_t max_entries_;
+  std::string persist_dir_;  ///< empty = persistence off
   /// Most-recently-used key at the front; LRU eviction pops the back.
   std::list<std::string> lru_;
   struct Entry {

@@ -1,6 +1,9 @@
 #include "sim/oracle.hpp"
 
+#include <cstdlib>
+
 #include "graph/cycle_ratio.hpp"
+#include "graph/throughput_engine.hpp"
 #include "proc/blocks.hpp"
 #include "proc/cpu.hpp"
 #include "util/assert.hpp"
@@ -16,14 +19,13 @@ const proc::DcacheBlock& dcache_of(const wp::Process& p) {
   return *dc;
 }
 
-/// Stable content key: program text+data and every CpuConfig knob that
-/// shapes the golden run. Two independently constructed but identical
+/// Stable content digest of program text+data and every CpuConfig knob
+/// that shapes a run. Two independently constructed but identical
 /// ProgramSpecs (same generator, same parameters) share one record — which
 /// also means the cached final-memory verdict assumes ProgramSpec::verify
 /// is a pure function of (source, ram), as every program generator's is.
-std::string golden_key(const proc::ProgramSpec& program,
-                       const proc::CpuConfig& cpu,
-                       std::uint64_t max_cycles) {
+std::uint64_t content_hash(const proc::ProgramSpec& program,
+                           const proc::CpuConfig& cpu) {
   std::uint64_t h = hash_string(program.source);
   h = hash_combine(h, hash_bytes(program.ram.data(),
                                  program.ram.size() * sizeof(std::uint32_t)));
@@ -31,7 +33,13 @@ std::string golden_key(const proc::ProgramSpec& program,
   h = hash_combine(h, static_cast<std::uint64_t>(cpu.fetch_window));
   h = hash_combine(h, static_cast<std::uint64_t>(cpu.drain_firings));
   h = hash_combine(h, static_cast<std::uint64_t>(cpu.relax_squashed_fetches));
-  h = hash_combine(h, max_cycles);
+  return h;
+}
+
+std::string golden_key(const proc::ProgramSpec& program,
+                       const proc::CpuConfig& cpu,
+                       std::uint64_t max_cycles) {
+  const std::uint64_t h = hash_combine(content_hash(program, cpu), max_cycles);
   return "cpu:" + program.name + ":" + hash_hex(h);
 }
 
@@ -40,12 +48,45 @@ std::string golden_key(const proc::ProgramSpec& program,
 SimOracle::SimOracle(std::size_t max_cached_goldens)
     : cache_(max_cached_goldens) {}
 
+SimOracle::~SimOracle() = default;
+
+std::shared_ptr<const wp::SystemSpec> SimOracle::system_spec(
+    const proc::ProgramSpec& program, const proc::CpuConfig& cpu) {
+  const std::string key =
+      program.name + ":" + hash_hex(content_hash(program, cpu));
+  std::lock_guard<std::mutex> lock(spec_mutex_);
+  auto it = specs_.find(key);
+  if (it != specs_.end()) {
+    ++spec_stats_.reuses;
+    return it->second;
+  }
+  ++spec_stats_.builds;
+  auto spec =
+      std::make_shared<const wp::SystemSpec>(proc::make_cpu_system(program, cpu));
+  specs_.emplace(key, spec);
+  return spec;
+}
+
+double SimOracle::static_bound(const std::map<std::string, int>& rs) {
+  std::lock_guard<std::mutex> lock(static_mutex_);
+  if (static_engine_ == nullptr)
+    static_engine_ =
+        std::make_unique<graph::ThroughputEngine>(proc::make_cpu_graph());
+  return static_engine_->with_rs_map(rs);
+}
+
+SimOracle::SpecStats SimOracle::spec_stats() const {
+  std::lock_guard<std::mutex> lock(spec_mutex_);
+  return spec_stats_;
+}
+
 std::shared_ptr<const GoldenRecord> SimOracle::golden(
     const proc::ProgramSpec& program, const proc::CpuConfig& cpu,
     std::uint64_t max_cycles) {
   return cache_.get_or_run(golden_key(program, cpu, max_cycles), [&] {
-    const wp::SystemSpec spec = proc::make_cpu_system(program, cpu);
-    wp::GoldenSim sim(spec, /*record_trace=*/true);
+    const std::shared_ptr<const wp::SystemSpec> spec =
+        system_spec(program, cpu);
+    wp::GoldenSim sim(*spec, /*record_trace=*/true);
     GoldenRecord record;
     record.cycles = sim.run_until_halt(max_cycles);
     record.halted = sim.halted();
@@ -82,8 +123,9 @@ proc::ExperimentRow SimOracle::run_experiment(
     note(golden_record->result_detail);
   }
 
-  // --- the two wire-pipelined systems: always simulated fresh -----------
-  wp::SystemSpec spec = proc::make_cpu_system(program, cpu);
+  // --- the two wire-pipelined systems: always simulated fresh (their
+  // network state is per-run), but from the shared assembled declaration —
+  wp::SystemSpec spec = *system_spec(program, cpu);
   spec.set_rs_map(config.rs);
 
   for (const bool oracle : {false, true}) {
@@ -128,9 +170,7 @@ proc::ExperimentRow SimOracle::run_experiment(
   row.th_wp2 = static_cast<double>(row.golden_cycles) /
                static_cast<double>(row.wp2_cycles);
   row.improvement = (row.th_wp2 - row.th_wp1) / row.th_wp1;
-  row.static_wp1 =
-      wp::graph::min_cycle_ratio_lawler(proc::make_cpu_graph_with_rs(config.rs))
-          .ratio;
+  row.static_wp1 = static_bound(config.rs);
   return row;
 }
 
@@ -141,7 +181,7 @@ double SimOracle::wp2_throughput(const proc::ProgramSpec& program,
   const std::uint64_t max_cycles = proc::ExperimentOptions{}.max_cycles;
   const std::shared_ptr<const GoldenRecord> golden_record =
       golden(program, cpu, max_cycles);
-  wp::SystemSpec spec = proc::make_cpu_system(program, cpu);
+  wp::SystemSpec spec = *system_spec(program, cpu);
   spec.set_rs_map(rs);
   wp::ShellOptions shell;
   shell.use_oracle = true;
@@ -153,8 +193,16 @@ double SimOracle::wp2_throughput(const proc::ProgramSpec& program,
 }
 
 SimOracle& SimOracle::shared() {
-  static SimOracle oracle;
-  return oracle;
+  // Opt-in persistent golden records: point WIREPIPE_GOLDEN_DIR at a cache
+  // directory and every process sharing it replays stored goldens instead
+  // of re-simulating them (CI shards, repeated bench runs).
+  static SimOracle* oracle = [] {
+    auto* o = new SimOracle();
+    if (const char* dir = std::getenv("WIREPIPE_GOLDEN_DIR"))
+      if (dir[0] != '\0') o->cache().set_persist_dir(dir);
+    return o;
+  }();
+  return *oracle;
 }
 
 }  // namespace wp::sim

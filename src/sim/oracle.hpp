@@ -21,10 +21,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "proc/experiment.hpp"
 #include "sim/golden_cache.hpp"
+
+namespace wp::graph {
+class ThroughputEngine;
+}
 
 namespace wp::sim {
 
@@ -34,6 +39,7 @@ class SimOracle {
   /// records hold full traces, so long-lived processes sweeping many
   /// programs should keep a cap.
   explicit SimOracle(std::size_t max_cached_goldens = 32);
+  ~SimOracle();  ///< out-of-line: static_engine_'s type is incomplete here
 
   SimOracle(const SimOracle&) = delete;
   SimOracle& operator=(const SimOracle&) = delete;
@@ -63,6 +69,29 @@ class SimOracle {
                         const std::map<std::string, int>& rs,
                         std::size_t fifo_capacity = 16);
 
+  /// The assembled SystemSpec of (program, cpu), built at most once per
+  /// content key and shared across every evaluation that runs it — a sweep
+  /// over one program assembles its source once, each point copies the
+  /// immutable declaration and applies its own RS map, instead of
+  /// re-running make_cpu_system per golden/WP1/WP2 build. Thread-safe.
+  std::shared_ptr<const wp::SystemSpec> system_spec(
+      const proc::ProgramSpec& program, const proc::CpuConfig& cpu);
+
+  /// Static m/(m+n) bound (minimum cycle ratio) of an RS configuration,
+  /// served by a process-shared graph::ThroughputEngine over the Fig.-1
+  /// CPU graph: the graph is built once and each query mutates it in
+  /// place, replacing the per-row fresh-graph + cold-Lawler solve. Exactly
+  /// the same ratios (both are exact minimum cycle ratios). Mutex-guarded
+  /// — the engine itself is single-threaded and the query is microseconds
+  /// next to the simulations around it.
+  double static_bound(const std::map<std::string, int>& rs);
+
+  struct SpecStats {
+    std::uint64_t builds = 0;  ///< make_cpu_system invocations
+    std::uint64_t reuses = 0;  ///< evaluations served by a cached spec
+  };
+  SpecStats spec_stats() const;
+
   GoldenCache::Stats stats() const { return cache_.stats(); }
   GoldenCache& cache() { return cache_; }
 
@@ -73,6 +102,15 @@ class SimOracle {
 
  private:
   GoldenCache cache_;
+
+  mutable std::mutex spec_mutex_;
+  /// Content key → immutable assembled spec. Distinct (program, cpu)
+  /// pairs are few per process (Table-1 programs), so no eviction.
+  std::map<std::string, std::shared_ptr<const wp::SystemSpec>> specs_;
+  SpecStats spec_stats_;
+
+  std::mutex static_mutex_;
+  std::unique_ptr<graph::ThroughputEngine> static_engine_;  ///< lazy
 };
 
 }  // namespace wp::sim

@@ -14,6 +14,7 @@
 #include "graph/dot.hpp"
 #include "graph/optimize.hpp"
 #include "graph/throughput.hpp"
+#include "graph/throughput_engine.hpp"
 
 namespace wp::graph {
 namespace {
@@ -131,6 +132,55 @@ TEST(CycleRatio, PicksTheWorstLoop) {
   const auto result = min_cycle_ratio_lawler(g);
   EXPECT_NEAR(result.ratio, 0.5, 1e-9);
   EXPECT_EQ(result.critical_cycle.size(), 3u);
+}
+
+TEST(CycleRatio, LargeMagnitudeGraphsDoNotSpinOnFloatNoise) {
+  // Regression for the Bellman–Ford relaxation slack. A 4-ring with
+  // million-scale tokens and latencies: the edge weights tokens − λ·lat
+  // at λ = ratio are huge terms whose true partial sums cancel to zero, so
+  // the float residue of walking the ring is ~1e-10 — and with the old
+  // absolute 1e-15 slack the probe kept "relaxing" on that residue, burned
+  // all n passes, and extracted a spurious negative cycle at the exact
+  // ratio (empirically reproduced before the fix). The relative slack,
+  // scaled to |tokens| + λ·latency, treats the residue as converged.
+  Digraph g;
+  long long total_tokens = 0;
+  long long total_latency = 0;
+  for (int i = 0; i < 4; ++i) g.add_node("n" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) {
+    const int tokens = i % 3 == 0 ? 2000000 : (i % 3 == 1 ? 0 : 1000000);
+    const int rs = (i % 4) * 1000003 + 999999;
+    const EdgeId e = g.add_edge(i, (i + 1) % 4, "e" + std::to_string(i), rs);
+    g.edge(e).tokens = tokens;
+    total_tokens += tokens;
+    total_latency += g.edge_latency(e);
+  }
+  const double expected =
+      static_cast<double>(total_tokens) / static_cast<double>(total_latency);
+
+  const auto lawler = min_cycle_ratio_lawler(g);
+  const auto howard = min_cycle_ratio_howard(g);
+  EXPECT_DOUBLE_EQ(lawler.ratio, expected);
+  EXPECT_DOUBLE_EQ(howard.ratio, expected);
+  EXPECT_EQ(howard.ratio, min_cycle_ratio_exhaustive(g).ratio);
+
+  // The probe at λ = ratio must converge to "no negative cycle" instead of
+  // spinning on the residue; meaningfully above the ratio it must still
+  // find one (the slack is noise-proof, not blind).
+  EXPECT_TRUE(detail::find_negative_cycle(g, expected).empty());
+  EXPECT_FALSE(
+      detail::find_negative_cycle(g, expected * (1.0 + 1e-3)).empty());
+
+  // The incremental engine sees through the same tolerance: a perturbation
+  // chain on the huge-latency graph stays bit-identical to fresh solves.
+  ThroughputEngine engine(g);
+  for (const int rs : {999999, 1000037, 999999, 123456}) {
+    Digraph fresh = g;
+    fresh.edge(0).relay_stations = rs;
+    EXPECT_EQ(engine.throughput({{"e0", rs}}),
+              min_cycle_ratio_howard(fresh).ratio)
+        << "rs=" << rs;
+  }
 }
 
 class McrCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
