@@ -2,13 +2,12 @@
 // lists in the layout of the paper's Table 1 (Cycles | Th WP1 | Th WP2 |
 // WP2 vs WP1 %) plus our extra diagnostics, mirrors rows to CSV when
 // WIREPIPE_CSV is set in the environment, reports the simulation oracle's
-// golden-replay savings, parses the small flag vocabulary the benches
-// share (--samples N, --families a,b,c, ...), and emits machine-readable
-// JSON artifacts (JsonWriter) so CI can archive a perf trajectory per
-// commit instead of scraping tables.
+// golden-replay savings, and emits machine-readable JSON artifacts
+// (JsonWriter) so CI can archive a perf trajectory per commit instead of
+// scraping tables. Flag parsing lives in wp::cli::ArgParser
+// (src/cli/arg_parser.hpp), shared with the service binaries.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -154,72 +153,9 @@ class JsonWriter {
   bool just_keyed_ = false;
 };
 
-// ----------------------------------------------------------- CLI helpers
-
-/// True when `flag` appears among the arguments.
-inline bool has_flag(int argc, char** argv, const std::string& flag) {
-  for (int i = 1; i < argc; ++i)
-    if (argv[i] == flag) return true;
-  return false;
-}
-
-/// Value of `--name value`; `fallback` when absent. Exits loudly on a
-/// trailing flag with no value.
-inline std::string arg_value(int argc, char** argv, const std::string& name,
-                             const std::string& fallback) {
-  for (int i = 1; i < argc; ++i) {
-    if (argv[i] == name) {
-      if (i + 1 >= argc) {
-        std::cerr << name << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[i + 1];
-    }
-  }
-  return fallback;
-}
-
-/// Integer-valued `--name N`.
-inline int arg_int(int argc, char** argv, const std::string& name,
-                   int fallback) {
-  const std::string text =
-      arg_value(argc, argv, name, std::to_string(fallback));
-  try {
-    return std::stoi(text);
-  } catch (...) {
-    std::cerr << name << " needs an integer, got '" << text << "'\n";
-    std::exit(2);
-  }
-}
-
-/// First argument that is neither a flag (`--x`) nor the value of one of
-/// the `valued` flags; `fallback` when none. Pass the same flag names the
-/// bench reads via arg_value/arg_int/arg_list, so the two passes cannot
-/// drift.
-inline std::string positional_arg(int argc, char** argv,
-                                  const std::vector<std::string>& valued,
-                                  const std::string& fallback) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (std::find(valued.begin(), valued.end(), arg) != valued.end()) {
-      ++i;  // skip the flag's value
-    } else if (arg.rfind("--", 0) != 0) {
-      return arg;
-    }
-  }
-  return fallback;
-}
-
-/// Comma-separated `--name a,b,c` → {"a","b","c"}; empty when absent.
-inline std::vector<std::string> arg_list(int argc, char** argv,
-                                         const std::string& name) {
-  std::vector<std::string> items;
-  std::istringstream stream(arg_value(argc, argv, name, ""));
-  std::string item;
-  while (std::getline(stream, item, ','))
-    if (!item.empty()) items.push_back(item);
-  return items;
-}
+// Flag parsing lives in wp::cli::ArgParser (src/cli/arg_parser.hpp) —
+// shared by every bench and by the service binaries, so the flag
+// vocabulary cannot drift between the table benches and the daemons.
 
 // ------------------------------------------------- oracle replay report
 

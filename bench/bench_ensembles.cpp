@@ -15,7 +15,7 @@
 // per-commit CI artifact; the samples CSV carries th_wp1_sim/th_wp2_sim/
 // sim_ok next to the static bound.
 //
-// Flags (shared helpers in bench_common.hpp):
+// Flags (wp::cli::ArgParser; --help prints the full usage):
 //   --samples N        samples per family (default 12)
 //   --families a,b,c   keep only the named families (default: all five)
 //   --no-sim           skip the golden/WP1/WP2 simulation triple
@@ -25,6 +25,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "cli/arg_parser.hpp"
 #include "gen/ensemble.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -172,30 +173,25 @@ bool run_and_report(const wp::gen::EnsembleConfig& config,
 int main(int argc, char** argv) {
   using namespace wp;
 
-  // Every flag that consumes a value, shared between the readers below and
-  // the positional-prefix scan; a typo'd or retired flag must error, not
-  // silently run the default configuration.
-  const std::vector<std::string> valued_flags = {"--samples", "--families"};
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (std::find(valued_flags.begin(), valued_flags.end(), arg) !=
-        valued_flags.end()) {
-      ++i;  // skip the value
-    } else if (arg.rfind("--", 0) == 0 && arg != "--no-sim") {
-      std::cerr << "unknown flag '" << arg
-                << "' — known: --samples N, --families a,b,c, --no-sim\n";
-      return 2;
-    }
-  }
-
   gen::EnsembleConfig config = make_config();
-  config.samples_per_family =
-      bench::arg_int(argc, argv, "--samples", config.samples_per_family);
-  if (bench::has_flag(argc, argv, "--no-sim"))
-    config.simulate.enabled = false;
 
-  const std::vector<std::string> keep =
-      bench::arg_list(argc, argv, "--families");
+  cli::ArgParser parser(
+      "bench_ensembles",
+      "Topology-ensemble bench: full floorplan→RS→throughput pipeline "
+      "with optional golden/WP1/WP2 netlist simulation.");
+  parser.option("--samples", "N", std::to_string(config.samples_per_family),
+                "samples per family");
+  parser.option("--families", "a,b,c", "",
+                "subset of families to run (default: all)");
+  parser.flag("--no-sim", "skip the netlist-simulation pass");
+  parser.positional("prefix", "bench_ensembles",
+                    "artifact name prefix (BENCH_<prefix>.json)");
+  parser.parse_or_exit(argc, argv);
+
+  config.samples_per_family = parser.get_int("--samples");
+  if (parser.has("--no-sim")) config.simulate.enabled = false;
+
+  const std::vector<std::string> keep = parser.get_list("--families");
   if (!keep.empty()) {
     std::vector<gen::FamilySpec> chosen;
     for (const auto& name : keep) {
@@ -225,8 +221,7 @@ int main(int argc, char** argv) {
     config.families = std::move(chosen);
   }
 
-  const std::string prefix =
-      bench::positional_arg(argc, argv, valued_flags, "bench_ensembles");
+  const std::string prefix = parser.positional_value();
 
   std::cout << "Topology ensemble: " << config.families.size()
             << " families x " << config.samples_per_family

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cli/arg_parser.hpp"
 #include "floorplan/annealer.hpp"
 #include "floorplan/instances.hpp"
 #include "floorplan/pack_engine.hpp"
@@ -150,8 +151,12 @@ wp::graph::Digraph graph_of_instance(const Instance& inst) {
 int main(int argc, char** argv) {
   using namespace wp;
 
-  const std::string json_path =
-      bench::arg_value(argc, argv, "--json", "BENCH_floorplan.json");
+  cli::ArgParser parser("bench_floorplan_flow",
+                        "Floorplan-driven wire-pipelining flow bench.");
+  parser.option("--json", "PATH", "BENCH_floorplan.json",
+                "machine-readable timing artifact");
+  parser.parse_or_exit(argc, argv);
+  const std::string json_path = parser.get("--json");
 
   const Instance cpu = fplan::cpu_instance();
   const graph::Digraph cpu_graph = proc::make_cpu_graph();

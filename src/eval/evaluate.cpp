@@ -1,0 +1,160 @@
+#include "eval/evaluate.hpp"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "floorplan/annealer.hpp"
+#include "floorplan/model.hpp"
+#include "gen/instances.hpp"
+#include "gen/topologies.hpp"
+#include "graph/throughput_engine.hpp"
+#include "sim/oracle.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wp::eval {
+
+namespace {
+
+EvalReply eval_experiment(const ExperimentJob& job, sim::SimOracle& oracle) {
+  EvalReply reply;
+  reply.kind = ReplyKind::kExperiment;
+  reply.row = oracle.run_experiment(job.program.materialize(), job.cpu,
+                                    job.rs, job.options);
+  return reply;
+}
+
+EvalReply eval_throughput(const ThroughputJob& job, sim::SimOracle& oracle) {
+  EvalReply reply;
+  reply.kind = ReplyKind::kThroughput;
+  reply.throughput = oracle.wp2_throughput(
+      job.program.materialize(), job.cpu, job.rs,
+      static_cast<std::size_t>(job.fifo_capacity));
+  return reply;
+}
+
+// The floorplan portion of the ensemble pipeline as a standalone request:
+// generate → dress → anneal with a private incremental throughput engine →
+// placement-derived RS demand → exact min-cycle-ratio throughput.
+EvalReply eval_floorplan(const FloorplanJob& job) {
+  Rng rng(job.seed);
+  const graph::Digraph topology = gen::generate_topology(job.topology, rng);
+  const gen::GeneratedSystem sys =
+      gen::dress_topology(topology, job.system, rng);
+
+  graph::Digraph base = topology;
+  for (graph::EdgeId e = 0; e < base.num_edges(); ++e)
+    base.edge(e).relay_stations = 0;
+  graph::ThroughputEngine engine(std::move(base));
+
+  fplan::AnnealOptions options = job.anneal.to_options();
+  options.throughput_fn = nullptr;
+  options.throughput_engine = &engine;
+  const fplan::AnnealResult annealed = fplan::anneal(sys.instance, options);
+
+  EvalReply reply;
+  reply.kind = ReplyKind::kFloorplan;
+  reply.floorplan.area = annealed.area;
+  reply.floorplan.wirelength = annealed.wirelength;
+  reply.floorplan.cost = annealed.cost;
+  reply.floorplan.accepted_moves = annealed.accepted_moves;
+  reply.floorplan.evaluations = annealed.evaluations;
+
+  const auto demand =
+      fplan::rs_demand(sys.instance, annealed.placement, options.delay_model);
+  for (const auto& [connection, rs] : demand) {
+    (void)connection;
+    reply.floorplan.total_rs += rs;
+  }
+  reply.floorplan.throughput = engine.throughput(demand);
+  reply.floorplan.engine_incremental = engine.stats().incremental();
+  reply.floorplan.engine_fallbacks = engine.stats().fallbacks;
+  return reply;
+}
+
+EvalReply eval_sample(const gen::SampleJob& job, sim::GoldenCache* cache) {
+  EvalReply reply;
+  reply.kind = ReplyKind::kSample;
+  reply.sample =
+      gen::run_sample_job(job, job.simulate.enabled ? cache : nullptr);
+  return reply;
+}
+
+[[noreturn]] void unwrap_fail(const EvalReply& reply, ReplyKind wanted) {
+  if (reply.kind == ReplyKind::kError)
+    WP_CHECK(false, "evaluation failed: " + reply.error.message);
+  WP_CHECK(false, std::string("reply kind mismatch: wanted ") +
+                      std::to_string(static_cast<int>(wanted)) + ", got " +
+                      std::to_string(static_cast<int>(reply.kind)));
+  std::terminate();  // unreachable: WP_CHECK(false, ...) throws
+}
+
+}  // namespace
+
+EvalReply evaluate(const EvalRequest& request, const EvalContext& context) {
+  try {
+    sim::SimOracle& oracle =
+        context.oracle != nullptr ? *context.oracle : sim::SimOracle::shared();
+    sim::GoldenCache* netlist_cache = context.netlist_cache != nullptr
+                                          ? context.netlist_cache
+                                          : &oracle.cache();
+    switch (request.kind) {
+      case RequestKind::kExperiment:
+        return eval_experiment(request.experiment, oracle);
+      case RequestKind::kWp2Throughput:
+        return eval_throughput(request.throughput, oracle);
+      case RequestKind::kFloorplanAnneal:
+        return eval_floorplan(request.floorplan);
+      case RequestKind::kEnsembleSample:
+        return eval_sample(request.sample, netlist_cache);
+    }
+    return EvalReply::make_error(
+        ErrorCode::kMalformedRequest,
+        "unknown request kind " +
+            std::to_string(static_cast<int>(request.kind)));
+  } catch (const std::exception& e) {
+    return EvalReply::make_error(ErrorCode::kEvalFailed, e.what());
+  } catch (...) {
+    return EvalReply::make_error(ErrorCode::kEvalFailed,
+                                 "non-standard exception");
+  }
+}
+
+std::vector<EvalReply> evaluate_batch(const std::vector<EvalRequest>& requests,
+                                      const EvalContext& context,
+                                      ThreadPool* pool) {
+  std::vector<EvalReply> replies(requests.size());
+  if (pool == nullptr) pool = &ThreadPool::shared();
+  pool->parallel_for(0, requests.size(), [&](std::size_t i) {
+    replies[i] = evaluate(requests[i], context);
+  });
+  return replies;
+}
+
+const proc::ExperimentRow& unwrap_row(const EvalReply& reply) {
+  if (reply.kind != ReplyKind::kExperiment)
+    unwrap_fail(reply, ReplyKind::kExperiment);
+  return reply.row;
+}
+
+double unwrap_throughput(const EvalReply& reply) {
+  if (reply.kind != ReplyKind::kThroughput)
+    unwrap_fail(reply, ReplyKind::kThroughput);
+  return reply.throughput;
+}
+
+const FloorplanResult& unwrap_floorplan(const EvalReply& reply) {
+  if (reply.kind != ReplyKind::kFloorplan)
+    unwrap_fail(reply, ReplyKind::kFloorplan);
+  return reply.floorplan;
+}
+
+const gen::SampleResult& unwrap_sample(const EvalReply& reply) {
+  if (reply.kind != ReplyKind::kSample)
+    unwrap_fail(reply, ReplyKind::kSample);
+  return reply.sample;
+}
+
+}  // namespace wp::eval

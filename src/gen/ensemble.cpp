@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <ostream>
 #include <utility>
 
+#include "eval/evaluate.hpp"
+#include "eval/request.hpp"
 #include "graph/cycles.hpp"
+#include "sim/oracle.hpp"
 #include "graph/throughput_engine.hpp"
 #include "sim/netlist_sim.hpp"
 #include "util/assert.hpp"
@@ -17,30 +21,28 @@
 
 namespace wp::gen {
 
-namespace {
-
-/// Arithmetic (not stream-dependent) per-sample seed, so sequential and
-/// pooled runs derive identical streams in any execution order. Keyed on
-/// the family *name*, not its index, so filtering or reordering the family
-/// list (bench_ensembles --families) reproduces the unfiltered run's rows
-/// bit for bit. Families must have distinct names (the CSV key already
-/// assumes this).
-std::uint64_t sample_seed(const EnsembleConfig& config,
-                          std::size_t family_index, int sample) {
-  const std::uint64_t lane =
-      hash_string(config.families[family_index].name) * 1000003ULL +
-      static_cast<std::uint64_t>(sample) + 1ULL;
-  return config.seed + 0x9e3779b97f4a7c15ULL * lane;
+/// Arithmetic (not stream-dependent) per-sample seed, so sequential,
+/// pooled and sharded runs derive identical streams in any execution
+/// order. Keyed on the family *name*, not its index, so filtering or
+/// reordering the family list (bench_ensembles --families) reproduces the
+/// unfiltered run's rows bit for bit. Families must have distinct names
+/// (the CSV key already assumes this).
+std::uint64_t derive_sample_seed(std::uint64_t ensemble_seed,
+                                 const std::string& family_name,
+                                 int sample) {
+  const std::uint64_t lane = hash_string(family_name) * 1000003ULL +
+                             static_cast<std::uint64_t>(sample) + 1ULL;
+  return ensemble_seed + 0x9e3779b97f4a7c15ULL * lane;
 }
 
-SampleResult run_sample(const EnsembleConfig& config,
-                        std::size_t family_index, int sample,
-                        sim::GoldenCache* golden_cache) {
-  const FamilySpec& family = config.families[family_index];
+SampleResult run_sample_job(const SampleJob& job,
+                            sim::GoldenCache* golden_cache) {
+  const FamilySpec& family = job.family;
   SampleResult result;
   result.family = family.name;
-  result.sample = sample;
-  result.seed = sample_seed(config, family_index, sample);
+  result.sample = job.sample;
+  result.seed = derive_sample_seed(job.ensemble_seed, family.name,
+                                   job.sample);
 
   Rng rng(result.seed);
   const graph::Digraph topology =
@@ -59,7 +61,8 @@ SampleResult run_sample(const EnsembleConfig& config,
     base.edge(e).relay_stations = 0;
   graph::ThroughputEngine engine(std::move(base));
 
-  fplan::AnnealOptions options = config.anneal;
+  fplan::AnnealOptions options = job.anneal;
+  options.throughput_fn = nullptr;  // the private engine is the oracle
   if (family.anneal_iterations > 0)
     options.iterations = family.anneal_iterations;
   options.seed = result.seed;
@@ -83,16 +86,16 @@ SampleResult run_sample(const EnsembleConfig& config,
   result.engine_incremental = engine.stats().incremental();
   result.engine_fallbacks = engine.stats().fallbacks;
 
-  if (config.simulate.enabled) {
+  if (job.simulate.enabled) {
     // Simulated counterpart of the static bound: the generated netlist's
     // golden/WP1/WP2 triple under the same placement-derived RS demand.
     // The golden run is keyed by the netlist text, so WP1, WP2 and the two
     // equivalence checks share one cached record.
     sim::NetlistSimOptions sim_options;
-    sim_options.golden_cycles = config.simulate.golden_cycles;
-    sim_options.wp_cycles = config.simulate.wp_cycles;
-    sim_options.fifo_capacity = config.simulate.fifo_capacity;
-    sim_options.check_equivalence = config.simulate.check_equivalence;
+    sim_options.golden_cycles = job.simulate.golden_cycles;
+    sim_options.wp_cycles = job.simulate.wp_cycles;
+    sim_options.fifo_capacity = job.simulate.fifo_capacity;
+    sim_options.check_equivalence = job.simulate.check_equivalence;
     const std::map<std::string, int> rs_map(demand.begin(), demand.end());
     const sim::NetlistSimResult sim_result =
         sim::simulate_netlist(sys.netlist, rs_map, sim_options, golden_cache);
@@ -103,12 +106,12 @@ SampleResult run_sample(const EnsembleConfig& config,
                     sim_result.wp1_firings > 0 && sim_result.wp2_firings > 0;
   }
 
-  if (config.max_cycle_enumeration == 0) {
+  if (job.max_cycle_enumeration == 0) {
     result.cycles = -1;
   } else {
     try {
       result.cycles = static_cast<long long>(
-          graph::enumerate_cycles(topology, config.max_cycle_enumeration)
+          graph::enumerate_cycles(topology, job.max_cycle_enumeration)
               .size());
     } catch (const ContractViolation&) {
       result.cycles = -1;  // count explosion, not an error
@@ -117,8 +120,8 @@ SampleResult run_sample(const EnsembleConfig& config,
   return result;
 }
 
-std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
-                                   const std::vector<SampleResult>& samples) {
+std::vector<FamilyStats> aggregate_families(
+    const EnsembleConfig& config, const std::vector<SampleResult>& samples) {
   std::vector<FamilyStats> families;
   const auto per_family = static_cast<std::size_t>(
       std::max(config.samples_per_family, 0));
@@ -169,45 +172,71 @@ std::vector<FamilyStats> aggregate(const EnsembleConfig& config,
   return families;
 }
 
+namespace {
+
 EnsembleReport run_jobs(const EnsembleConfig& config, ThreadPool* pool) {
-  WP_REQUIRE(!config.families.empty(), "ensemble needs at least one family");
-  WP_REQUIRE(config.samples_per_family > 0,
-             "samples_per_family must be > 0");
-  const std::size_t total =
-      config.families.size() *
-      static_cast<std::size_t>(config.samples_per_family);
+  const std::vector<SampleJob> jobs = ensemble_jobs(config);
   EnsembleReport report;
-  report.samples.resize(total);
-  const auto per_family =
-      static_cast<std::size_t>(config.samples_per_family);
-  // One golden cache for the whole run (thread-safe, per-key once-
-  // semantics): every sample's WP1/WP2 pair replays one cached golden, and
-  // repeat netlists across samples are cache hits. Generated netlists are
-  // all distinct in a typical ensemble, so a cap around the worker count
-  // keeps memory flat without costing hits.
-  sim::GoldenCache golden_cache(/*max_entries=*/64);
+  report.samples.resize(jobs.size());
+  // One oracle for the whole run, wired through the factory (thread-safe,
+  // per-key once-semantics): every sample's WP1/WP2 pair replays one
+  // cached golden, and repeat netlists across samples are cache hits.
+  // Generated netlists are all distinct in a typical ensemble, so a cap
+  // around the worker count keeps memory flat without costing hits.
+  sim::OracleOptions oracle_options;
+  oracle_options.max_cached_goldens = 64;
+  const std::shared_ptr<sim::SimOracle> oracle =
+      sim::SimOracle::make_shared(oracle_options);
+  eval::EvalContext context;
+  context.oracle = oracle.get();
+  // Every sample goes through the ONE evaluation surface — the same
+  // eval::evaluate the service daemon calls for a remote ensemble-sample
+  // request, so in-process and sharded ensembles execute literally the
+  // same code.
   auto body = [&](std::size_t i) {
     report.samples[i] =
-        run_sample(config, i / per_family, static_cast<int>(i % per_family),
-                   config.simulate.enabled ? &golden_cache : nullptr);
+        eval::unwrap_sample(eval::evaluate(eval::EvalRequest(jobs[i]),
+                                           context));
   };
   if (pool == nullptr) {
-    for (std::size_t i = 0; i < total; ++i) body(i);
+    for (std::size_t i = 0; i < jobs.size(); ++i) body(i);
   } else {
-    pool->parallel_for(0, total, body);
+    pool->parallel_for(0, jobs.size(), body);
   }
-  const sim::GoldenCache::Stats cache_stats = golden_cache.stats();
+  const sim::GoldenCache::Stats cache_stats = oracle->stats();
   report.sim_golden_runs = cache_stats.golden_runs;
   report.sim_cache_hits = cache_stats.hits;
   for (const SampleResult& s : report.samples) {
     report.engine_incremental += s.engine_incremental;
     report.engine_fallbacks += s.engine_fallbacks;
   }
-  report.families = aggregate(config, report.samples);
+  report.families = aggregate_families(config, report.samples);
   return report;
 }
 
 }  // namespace
+
+std::vector<SampleJob> ensemble_jobs(const EnsembleConfig& config) {
+  WP_REQUIRE(!config.families.empty(), "ensemble needs at least one family");
+  WP_REQUIRE(config.samples_per_family > 0,
+             "samples_per_family must be > 0");
+  std::vector<SampleJob> jobs;
+  jobs.reserve(config.families.size() *
+               static_cast<std::size_t>(config.samples_per_family));
+  for (const FamilySpec& family : config.families) {
+    for (int s = 0; s < config.samples_per_family; ++s) {
+      SampleJob job;
+      job.family = family;
+      job.sample = s;
+      job.ensemble_seed = config.seed;
+      job.simulate = config.simulate;
+      job.anneal = config.anneal;
+      job.max_cycle_enumeration = config.max_cycle_enumeration;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
 
 bool SampleResult::operator==(const SampleResult& other) const {
   // anneal_ms/throughput_ms are wall-clock and intentionally absent: the

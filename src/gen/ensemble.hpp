@@ -28,6 +28,9 @@
 namespace wp {
 class ThreadPool;
 }
+namespace wp::sim {
+class GoldenCache;
+}
 
 namespace wp::gen {
 
@@ -148,6 +151,45 @@ struct EnsembleReport {
   std::uint64_t engine_incremental = 0;
   std::uint64_t engine_fallbacks = 0;
 };
+
+/// The self-contained description of ONE ensemble sample — everything
+/// run_sample_job needs to reproduce the sample bit for bit, with no
+/// reference to the enclosing EnsembleConfig. This is the unit of work the
+/// evaluation service ships to remote workers (eval::EvalRequest's
+/// ensemble-sample kind), and the unit run_ensemble executes in process:
+/// both paths call run_sample_job, so a sharded ensemble is byte-identical
+/// to a single-process run by construction.
+struct SampleJob {
+  FamilySpec family;
+  int sample = 0;                    ///< index within the family
+  std::uint64_t ensemble_seed = 1;   ///< EnsembleConfig::seed
+  EnsembleSimOptions simulate;
+  /// Non-serializable members (throughput_fn/throughput_engine) are
+  /// ignored: every sample owns a private engine.
+  fplan::AnnealOptions anneal;
+  std::size_t max_cycle_enumeration = 20000;
+};
+
+/// The arithmetic per-sample seed: keyed on the family *name* (not index)
+/// so filtered/reordered/sharded runs reproduce full-run rows bit for bit.
+std::uint64_t derive_sample_seed(std::uint64_t ensemble_seed,
+                                 const std::string& family_name, int sample);
+
+/// Scores one sample through the full pipeline (generate → dress → anneal
+/// → RS demand → throughput, plus the opt-in golden/WP1/WP2 netlist
+/// simulation). `golden_cache` may be nullptr (fresh golden run); when the
+/// job does not simulate it is unused. Deterministic in the job alone.
+SampleResult run_sample_job(const SampleJob& job,
+                            sim::GoldenCache* golden_cache);
+
+/// The jobs run_ensemble executes, family-major in config order — exposed
+/// so sharded runners can build the identical work list.
+std::vector<SampleJob> ensemble_jobs(const EnsembleConfig& config);
+
+/// Per-family statistics of a family-major sample vector (the aggregation
+/// step of run_ensemble, shared with sharded merges).
+std::vector<FamilyStats> aggregate_families(
+    const EnsembleConfig& config, const std::vector<SampleResult>& samples);
 
 /// Runs the whole ensemble on the pool (nullptr = ThreadPool::shared()).
 EnsembleReport run_ensemble(const EnsembleConfig& config,

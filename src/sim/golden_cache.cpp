@@ -1,5 +1,6 @@
 #include "sim/golden_cache.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -32,8 +33,14 @@ namespace {
 // a foreign key or a fingerprint that does not match the stored trace all
 // make the loader return nullptr so the caller recomputes (and overwrites
 // the bad file).
+//
+// Version 02 adds the trace mode byte: prefix-hash records store the
+// windowed TraceDigest instead of the full trace, so on-disk goldens of
+// huge traces shrink from 8 bytes per value to 8 bytes per window. '01'
+// files (full traces, no mode byte) are still readable.
 
 constexpr char kMagic[8] = {'W', 'P', 'G', 'O', 'L', 'D', '0', '1'};
+constexpr char kMagicV2[8] = {'W', 'P', 'G', 'O', 'L', 'D', '0', '2'};
 
 void put_u32(std::string& out, std::uint32_t v) {
   out.append(reinterpret_cast<const char*>(&v), sizeof v);
@@ -96,16 +103,94 @@ std::string serialize_payload(const GoldenRecord& record,
   put_u32(out, record.result_ok ? 1 : 0);
   put_string(out, record.result_detail);
   put_u64(out, record.fingerprint);
-  put_u32(out, static_cast<std::uint32_t>(record.trace.size()));
-  for (const auto& [stream, values] : record.trace) {
-    put_string(out, stream);
-    put_u32(out, static_cast<std::uint32_t>(values.size()));
-    for (const Word v : values) put_u64(out, v);
+  put_u32(out, static_cast<std::uint32_t>(record.trace_mode));
+  if (record.trace_mode == TraceMode::kFull) {
+    put_u32(out, static_cast<std::uint32_t>(record.trace.size()));
+    for (const auto& [stream, values] : record.trace) {
+      put_string(out, stream);
+      put_u32(out, static_cast<std::uint32_t>(values.size()));
+      for (const Word v : values) put_u64(out, v);
+    }
+  } else {
+    put_u64(out, record.digest.window);
+    put_u32(out, static_cast<std::uint32_t>(record.digest.streams.size()));
+    for (const auto& stream : record.digest.streams) {
+      put_string(out, stream.name);
+      put_u64(out, stream.count);
+      put_u32(out, static_cast<std::uint32_t>(stream.checkpoints.size()));
+      for (const std::uint64_t h : stream.checkpoints) put_u64(out, h);
+    }
   }
   return out;
 }
 
 }  // namespace
+
+// ------------------------------------------------- trace digest (prefix)
+
+TraceDigest make_trace_digest(const Trace& trace, std::uint64_t window) {
+  WP_REQUIRE(window >= 1, "digest window must be >= 1");
+  TraceDigest digest;
+  digest.window = window;
+  for (const auto& [name, values] : trace) {
+    TraceDigest::Stream stream;
+    stream.name = name;
+    stream.count = values.size();
+    std::uint64_t h = 0x5afe601dULL;
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      h = hash_combine(h, values[k]);
+      if ((k + 1) % window == 0 || k + 1 == values.size())
+        stream.checkpoints.push_back(h);
+    }
+    digest.streams.push_back(std::move(stream));
+  }
+  return digest;
+}
+
+EquivalenceResult check_equivalence_digest(const TraceDigest& digest,
+                                           const Trace& wp) {
+  EquivalenceResult result;
+  WP_REQUIRE(digest.window >= 1, "digest window must be >= 1");
+  for (const auto& stream : digest.streams) {
+    auto it = wp.find(stream.name);
+    if (it == wp.end()) continue;  // stream not observed in the WP run
+    const auto& wp_values = it->second;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(stream.count, wp_values.size());
+    // Replay the WP values through the same rolling hash, comparing at
+    // every golden checkpoint position that lies within the shared prefix.
+    std::uint64_t h = 0x5afe601dULL;
+    std::size_t ci = 0;
+    std::uint64_t covered = 0;
+    for (std::uint64_t k = 0; k < n && ci < stream.checkpoints.size(); ++k) {
+      h = hash_combine(h, wp_values[k]);
+      const std::uint64_t position =
+          std::min<std::uint64_t>((ci + 1) * digest.window, stream.count);
+      if (k + 1 == position) {
+        if (h != stream.checkpoints[ci]) {
+          result.equivalent = false;
+          std::ostringstream os;
+          os << "stream " << stream.name
+             << " diverges within the first " << position
+             << " events (prefix-hash window " << digest.window << ")";
+          result.detail = os.str();
+          return result;
+        }
+        covered = position;
+        ++ci;
+      }
+    }
+    result.events_checked += covered;
+  }
+  return result;
+}
+
+EquivalenceResult check_golden_equivalence(const GoldenRecord& record,
+                                           const Trace& wp) {
+  return record.trace_mode == TraceMode::kFull
+             ? check_equivalence(record.trace, wp)
+             : check_equivalence_digest(record.digest, wp);
+}
 
 bool save_golden_record(const GoldenRecord& record, const std::string& key,
                         const std::string& path) {
@@ -133,7 +218,7 @@ bool save_golden_record(const GoldenRecord& record, const std::string& key,
   {
     std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
     if (!file) return false;
-    file.write(kMagic, sizeof kMagic);
+    file.write(kMagicV2, sizeof kMagicV2);
     file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
     const std::uint64_t checksum = hash_bytes(payload.data(), payload.size());
     file.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
@@ -159,7 +244,9 @@ std::shared_ptr<const GoldenRecord> load_golden_record(
   buffer << file.rdbuf();
   const std::string bytes = buffer.str();
   if (bytes.size() < sizeof kMagic + sizeof(std::uint64_t)) return nullptr;
-  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) return nullptr;
+  const bool v2 = std::memcmp(bytes.data(), kMagicV2, sizeof kMagicV2) == 0;
+  if (!v2 && std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+    return nullptr;
 
   const char* payload = bytes.data() + sizeof kMagic;
   const std::size_t payload_size =
@@ -177,21 +264,57 @@ std::shared_ptr<const GoldenRecord> load_golden_record(
   record->result_ok = in.u32() != 0;
   record->result_detail = in.str();
   record->fingerprint = in.u64();
-  const std::uint32_t streams = in.u32();
-  for (std::uint32_t i = 0; in.ok && i < streams; ++i) {
-    std::string stream = in.str();
-    const std::uint32_t count = in.u32();
-    if (!in.ok ||
-        (in.size - in.pos) / sizeof(std::uint64_t) < count)
+  if (v2) {
+    const std::uint32_t mode = in.u32();
+    if (!in.ok || mode > static_cast<std::uint32_t>(TraceMode::kPrefixHash))
       return nullptr;
-    auto& values = record->trace[std::move(stream)];
-    values.reserve(count);
-    for (std::uint32_t v = 0; v < count; ++v) values.push_back(in.u64());
+    record->trace_mode = static_cast<TraceMode>(mode);
   }
-  if (!in.ok || in.pos != in.size) return nullptr;
-  // Cross-check the stored fingerprint against the stored trace: a record
-  // whose two halves disagree is corrupt even if the checksum matched.
-  if (trace_fingerprint(record->trace) != record->fingerprint) return nullptr;
+  if (record->trace_mode == TraceMode::kFull) {
+    const std::uint32_t streams = in.u32();
+    for (std::uint32_t i = 0; in.ok && i < streams; ++i) {
+      std::string stream = in.str();
+      const std::uint32_t count = in.u32();
+      if (!in.ok ||
+          (in.size - in.pos) / sizeof(std::uint64_t) < count)
+        return nullptr;
+      auto& values = record->trace[std::move(stream)];
+      values.reserve(count);
+      for (std::uint32_t v = 0; v < count; ++v) values.push_back(in.u64());
+    }
+    if (!in.ok || in.pos != in.size) return nullptr;
+    // Cross-check the stored fingerprint against the stored trace: a
+    // record whose two halves disagree is corrupt even if the checksum
+    // matched.
+    if (trace_fingerprint(record->trace) != record->fingerprint)
+      return nullptr;
+  } else {
+    record->digest.window = in.u64();
+    if (!in.ok || record->digest.window == 0) return nullptr;
+    const std::uint32_t streams = in.u32();
+    for (std::uint32_t i = 0; in.ok && i < streams; ++i) {
+      TraceDigest::Stream stream;
+      stream.name = in.str();
+      stream.count = in.u64();
+      const std::uint32_t checkpoints = in.u32();
+      if (!in.ok ||
+          (in.size - in.pos) / sizeof(std::uint64_t) < checkpoints)
+        return nullptr;
+      // The checkpoint count is implied by (count, window); a stored
+      // record whose halves disagree is corrupt.
+      const std::uint64_t expected =
+          stream.count == 0
+              ? 0
+              : (stream.count + record->digest.window - 1) /
+                    record->digest.window;
+      if (checkpoints != expected) return nullptr;
+      stream.checkpoints.reserve(checkpoints);
+      for (std::uint32_t c = 0; c < checkpoints; ++c)
+        stream.checkpoints.push_back(in.u64());
+      record->digest.streams.push_back(std::move(stream));
+    }
+    if (!in.ok || in.pos != in.size) return nullptr;
+  }
   return record;
 }
 

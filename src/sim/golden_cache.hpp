@@ -25,20 +25,68 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/system.hpp"
 
 namespace wp::sim {
 
+/// How a golden record keeps its τ-filtered trace.
+enum class TraceMode : std::uint8_t {
+  kFull = 0,        ///< the whole trace is resident (exact equivalence)
+  kPrefixHash = 1,  ///< only windowed prefix hashes are kept (see below)
+};
+
+/// Windowed prefix-hash digest of a trace (ROADMAP, PR 5 leftover):
+/// instead of keeping every value of every stream resident, keep — per
+/// stream — the value count plus a rolling order-sensitive hash sampled
+/// every `window` values and at the end of the stream. Equivalence against
+/// a WP trace is then checked at window granularity: the WP side replays
+/// its own values through the same rolling hash and compares at each
+/// checkpoint position. Exactly as strong as the full check at checkpoint
+/// positions; a divergence inside the final partial window of a WP run
+/// *shorter* than the golden stream is the one case it cannot see (a WP
+/// run at least as long as the golden is fully covered, because the final
+/// checkpoint lands on the golden stream's last value). Memory per stream
+/// drops from 8 bytes per value to 8 bytes per window.
+struct TraceDigest {
+  struct Stream {
+    std::string name;
+    std::uint64_t count = 0;  ///< values in the golden stream
+    /// Rolling hash after value min(k * window, count), k = 1, 2, ...;
+    /// the last entry always covers the whole stream.
+    std::vector<std::uint64_t> checkpoints;
+  };
+  std::uint64_t window = 0;     ///< checkpoint interval (values)
+  std::vector<Stream> streams;  ///< sorted by name (Trace is a std::map)
+};
+
+/// Builds the windowed digest of `trace`. `window` must be >= 1.
+TraceDigest make_trace_digest(const Trace& trace, std::uint64_t window);
+
+/// The prefix-hash counterpart of wp::check_equivalence: compares `wp`
+/// against the digest at checkpoint granularity. `events_checked` counts
+/// values covered by a compared checkpoint; `detail` reports the window in
+/// which the first divergence was detected.
+EquivalenceResult check_equivalence_digest(const TraceDigest& digest,
+                                           const Trace& wp);
+
 /// Everything a WP evaluation needs from the golden reference run.
 struct GoldenRecord {
   std::uint64_t cycles = 0;   ///< cycles simulated (halt cycle, or horizon)
   bool halted = false;        ///< did a process halt within the horizon?
-  Trace trace;                ///< τ-filtered execution trace
-  std::uint64_t fingerprint = 0;  ///< order-sensitive digest of `trace`
+  TraceMode trace_mode = TraceMode::kFull;
+  Trace trace;                ///< τ-filtered execution trace (kFull only)
+  TraceDigest digest;         ///< windowed prefix hashes (kPrefixHash only)
+  std::uint64_t fingerprint = 0;  ///< order-sensitive digest of the trace
   bool result_ok = true;      ///< final-memory verdict (program runs only)
   std::string result_detail;  ///< first verification failure, if any
 };
+
+/// Dispatches on record.trace_mode: the exact full-trace check, or the
+/// windowed digest check for records whose trace was dropped.
+EquivalenceResult check_golden_equivalence(const GoldenRecord& record,
+                                           const Trace& wp);
 
 /// Order-sensitive digest of a τ-filtered trace (stream names + values).
 std::uint64_t trace_fingerprint(const Trace& trace);

@@ -45,8 +45,58 @@ std::string golden_key(const proc::ProgramSpec& program,
 
 }  // namespace
 
+OracleOptions OracleOptions::resolved() const {
+  OracleOptions r = *this;
+  if (r.persist_dir.empty() && r.use_env_persist) {
+    if (const char* dir = std::getenv("WIREPIPE_GOLDEN_DIR"))
+      r.persist_dir = dir;
+  }
+  if (r.use_env_trace_mode) {
+    // WIREPIPE_GOLDEN_TRACE=prefix or prefix:<window>; "full" (or unset)
+    // keeps exact traces.
+    if (const char* mode = std::getenv("WIREPIPE_GOLDEN_TRACE")) {
+      const std::string text = mode;
+      if (text.rfind("prefix", 0) == 0) {
+        r.trace_mode = TraceMode::kPrefixHash;
+        const auto colon = text.find(':');
+        if (colon != std::string::npos) {
+          try {
+            const unsigned long long window =
+                std::stoull(text.substr(colon + 1));
+            if (window >= 1) r.prefix_window = window;
+          } catch (...) {
+            // Unparseable window: keep the default rather than failing a
+            // whole run over an env var typo.
+          }
+        }
+      }
+    }
+  }
+  if (r.prefix_window == 0) r.prefix_window = 1;
+  return r;
+}
+
 SimOracle::SimOracle(std::size_t max_cached_goldens)
-    : cache_(max_cached_goldens) {}
+    : SimOracle([max_cached_goldens] {
+        OracleOptions options;
+        options.max_cached_goldens = max_cached_goldens;
+        // The legacy size-only constructor keeps fully explicit behavior
+        // for tests: no environment surprises.
+        options.use_env_persist = false;
+        options.use_env_trace_mode = false;
+        return options;
+      }()) {}
+
+SimOracle::SimOracle(const OracleOptions& options)
+    : options_(options.resolved()), cache_(options_.max_cached_goldens) {
+  if (!options_.persist_dir.empty())
+    cache_.set_persist_dir(options_.persist_dir);
+}
+
+std::shared_ptr<SimOracle> SimOracle::make_shared(
+    const OracleOptions& options) {
+  return std::make_shared<SimOracle>(options);
+}
 
 SimOracle::~SimOracle() = default;
 
@@ -100,6 +150,14 @@ std::shared_ptr<const GoldenRecord> SimOracle::golden(
     }
     record.trace = sim.trace();
     record.fingerprint = trace_fingerprint(record.trace);
+    if (options_.trace_mode == TraceMode::kPrefixHash) {
+      // Digest-then-drop: the windowed prefix hashes replace the resident
+      // trace (and shrink the persisted record); equivalence checks go
+      // through check_golden_equivalence, which dispatches on the mode.
+      record.trace_mode = TraceMode::kPrefixHash;
+      record.digest = make_trace_digest(record.trace, options_.prefix_window);
+      record.trace.clear();
+    }
     return record;
   });
 }
@@ -140,7 +198,7 @@ proc::ExperimentRow SimOracle::run_experiment(
            " run did not halt within max_cycles");
     }
     if (options.check_equivalence) {
-      const auto eq = check_equivalence(golden_record->trace, lid.trace);
+      const auto eq = check_golden_equivalence(*golden_record, lid.trace);
       if (!eq.equivalent) {
         if (oracle)
           row.wp2_equivalent = false;
@@ -193,15 +251,11 @@ double SimOracle::wp2_throughput(const proc::ProgramSpec& program,
 }
 
 SimOracle& SimOracle::shared() {
-  // Opt-in persistent golden records: point WIREPIPE_GOLDEN_DIR at a cache
-  // directory and every process sharing it replays stored goldens instead
-  // of re-simulating them (CI shards, repeated bench runs).
-  static SimOracle* oracle = [] {
-    auto* o = new SimOracle();
-    if (const char* dir = std::getenv("WIREPIPE_GOLDEN_DIR"))
-      if (dir[0] != '\0') o->cache().set_persist_dir(dir);
-    return o;
-  }();
+  // The process-wide oracle rides the same factory configuration as every
+  // other consumer: WIREPIPE_GOLDEN_DIR switches on persistent golden
+  // records (CI shards, repeated bench runs, daemon fleets sharing a
+  // store), WIREPIPE_GOLDEN_TRACE=prefix the trace-digest mode.
+  static std::shared_ptr<SimOracle> oracle = make_shared();
   return *oracle;
 }
 

@@ -1,0 +1,230 @@
+#include "svc/eval_client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "svc/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace wp::svc {
+
+namespace {
+
+int try_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+EvalClient::~EvalClient() { close(); }
+
+EvalClient::EvalClient(EvalClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+EvalClient& EvalClient::operator=(EvalClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void EvalClient::connect(const std::string& socket_path, int retries,
+                         int retry_ms) {
+  close();
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    fd_ = try_connect(socket_path);
+    if (fd_ >= 0) return;
+    if (attempt < retries)
+      std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+  }
+  throw ProtocolError(eval::ErrorCode::kInternal,
+                      "could not connect to " + socket_path + ": " +
+                          std::strerror(errno));
+}
+
+void EvalClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::vector<eval::EvalReply> EvalClient::evaluate(
+    const std::vector<eval::EvalRequest>& requests) {
+  WP_REQUIRE(connected(), "client is not connected");
+  write_frame(fd_, FrameType::kEvalBatch, encode_request_batch(requests));
+  const std::optional<Frame> frame = read_frame(fd_);
+  if (!frame.has_value())
+    throw ProtocolError(eval::ErrorCode::kInternal,
+                        "server closed the connection before replying");
+  if (frame->type == FrameType::kError) {
+    const eval::EvalError error = decode_error(frame->payload);
+    throw ProtocolError(error.code, "server rejected the batch: " +
+                                        error.message);
+  }
+  if (frame->type != FrameType::kReplyBatch)
+    throw ProtocolError(eval::ErrorCode::kMalformedFrame,
+                        "expected a reply-batch frame");
+  std::vector<eval::EvalReply> replies = decode_reply_batch(frame->payload);
+  if (replies.size() != requests.size())
+    throw ProtocolError(eval::ErrorCode::kInternal,
+                        "reply count does not match request count");
+  return replies;
+}
+
+bool EvalClient::ping() {
+  if (!connected()) return false;
+  try {
+    write_frame(fd_, FrameType::kPing, {});
+    const std::optional<Frame> frame = read_frame(fd_);
+    return frame.has_value() && frame->type == FrameType::kPong;
+  } catch (const ProtocolError&) {
+    return false;
+  }
+}
+
+void EvalClient::shutdown_server() {
+  WP_REQUIRE(connected(), "client is not connected");
+  try {
+    write_frame(fd_, FrameType::kShutdown, {});
+    (void)read_frame(fd_);  // kPong acknowledgement (or EOF — both fine)
+  } catch (const ProtocolError&) {
+    // The server may tear the socket down before the ack leaves: the
+    // shutdown still happened.
+  }
+  close();
+}
+
+// ------------------------------------------------------------- sharding
+
+std::vector<eval::EvalReply> evaluate_sharded(
+    std::vector<EvalClient*> clients,
+    const std::vector<eval::EvalRequest>& requests) {
+  WP_REQUIRE(!clients.empty(), "sharding needs at least one client");
+  const std::size_t n = clients.size();
+  // Round-robin assignment: request i → client i mod N. Deterministic in
+  // the request list alone, so the merged replies are independent of
+  // worker count and timing.
+  std::vector<std::vector<eval::EvalRequest>> shards(n);
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    shards[i % n].push_back(requests[i]);
+
+  std::vector<std::vector<eval::EvalReply>> shard_replies(n);
+  std::vector<std::exception_ptr> failures(n);
+  std::vector<std::thread> dispatch;
+  dispatch.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    dispatch.emplace_back([&, w] {
+      try {
+        if (!shards[w].empty())
+          shard_replies[w] = clients[w]->evaluate(shards[w]);
+      } catch (...) {
+        failures[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : dispatch) t.join();
+  for (const std::exception_ptr& failure : failures)
+    if (failure) std::rethrow_exception(failure);
+
+  std::vector<eval::EvalReply> merged(requests.size());
+  std::vector<std::size_t> cursor(n, 0);
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    merged[i] = std::move(shard_replies[i % n][cursor[i % n]++]);
+  return merged;
+}
+
+// ------------------------------------------------------------ WorkerFleet
+
+WorkerFleet::WorkerFleet(FleetOptions options)
+    : options_(std::move(options)) {
+  WP_REQUIRE(options_.workers > 0, "fleet needs at least one worker");
+  WP_REQUIRE(!options_.evald_path.empty(),
+             "fleet needs the wirepipe_evald binary path");
+}
+
+WorkerFleet::~WorkerFleet() { stop(); }
+
+void WorkerFleet::start() {
+  WP_REQUIRE(!running_, "fleet already running");
+  socket_paths_.clear();
+  for (std::size_t w = 0; w < options_.workers; ++w)
+    socket_paths_.push_back(
+        socket_path(options_.base_port + static_cast<port_name>(w)));
+
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    const pid_t pid = ::fork();
+    WP_CHECK(pid >= 0, "fork() failed");
+    if (pid == 0) {
+      // Child: exec the worker daemon on its own port.
+      std::vector<std::string> args;
+      args.push_back(options_.evald_path);
+      args.push_back("--socket");
+      args.push_back(socket_paths_[w]);
+      args.push_back("--workers");
+      args.push_back(std::to_string(options_.threads_per_worker));
+      for (const std::string& extra : options_.extra_args)
+        args.push_back(extra);
+      std::vector<char*> argv;
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(options_.evald_path.c_str(), argv.data());
+      ::_exit(127);  // exec failed
+    }
+    pids_.push_back(pid);
+  }
+
+  clients_.resize(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w)
+    clients_[w].connect(socket_paths_[w]);
+  running_ = true;
+}
+
+void WorkerFleet::stop() {
+  if (!running_ && pids_.empty()) return;
+  for (EvalClient& client : clients_)
+    if (client.connected()) client.shutdown_server();
+  clients_.clear();
+  for (const pid_t pid : pids_) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  pids_.clear();
+  running_ = false;
+}
+
+std::vector<eval::EvalReply> WorkerFleet::evaluate_sharded(
+    const std::vector<eval::EvalRequest>& requests) {
+  WP_REQUIRE(running_, "fleet is not running");
+  std::vector<EvalClient*> clients;
+  clients.reserve(clients_.size());
+  for (EvalClient& client : clients_) clients.push_back(&client);
+  return svc::evaluate_sharded(std::move(clients), requests);
+}
+
+}  // namespace wp::svc

@@ -1,0 +1,22 @@
+#include "svc/ports.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace wp::svc {
+
+std::string socket_path(port_name port) {
+  const char* dir = std::getenv("WIREPIPE_SOCKET_DIR");
+  if (dir == nullptr || *dir == '\0') dir = std::getenv("TMPDIR");
+  if (dir == nullptr || *dir == '\0') dir = "/tmp";
+  std::string path(dir);
+  if (!path.empty() && path.back() == '/') path.pop_back();
+  path += "/wirepipe-" + std::to_string(::getuid()) + "-" +
+          std::to_string(port) + ".sock";
+  return path;
+}
+
+std::string default_socket_path() { return socket_path(kPortEval); }
+
+}  // namespace wp::svc

@@ -1,0 +1,100 @@
+// The wirepipe service frame protocol: length-prefixed binary frames over
+// a local stream socket.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic     0x57504556 ("WPEV" as bytes 'W''P''E''V')
+//   4       1     version   kFrameVersion (1)
+//   5       1     type      FrameType
+//   6       2     reserved  must be 0
+//   8       4     payload_len
+//   12      n     payload   (wire-encoded body, type-dependent)
+//   12+n    8     checksum  FNV-1a over the payload bytes
+//
+// Payloads are wire::Writer streams: an eval-batch frame carries
+// u32 count + count EvalRequest encodings, a reply-batch frame u32 count +
+// count EvalReply encodings, an error frame u32 ErrorCode + string.
+// Decoders are strict — wrong magic, foreign version, nonzero reserved
+// bits, a declared length over kMaxFramePayload, or a checksum mismatch
+// throw ProtocolError carrying a typed eval::ErrorCode, and the reader
+// never touches memory past the declared length. A malformed frame can
+// therefore fail a connection loudly but can never crash the server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "eval/request.hpp"
+
+namespace wp::svc {
+
+constexpr std::uint32_t kFrameMagic = 0x56455057;  ///< "WPEV" little-endian
+constexpr std::uint8_t kFrameVersion = 1;
+/// Ceiling on a frame's declared payload length: large enough for any
+/// realistic batch, small enough that a hostile length prefix cannot make
+/// the server allocate unbounded memory.
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kEvalBatch = 1,   ///< client → server: u32 count + EvalRequest...
+  kReplyBatch = 2,  ///< server → client: u32 count + EvalReply...
+  kError = 3,       ///< server → client: u32 ErrorCode + string message
+  kPing = 4,        ///< liveness probe (empty payload)
+  kPong = 5,        ///< ping/shutdown acknowledgement (empty payload)
+  kShutdown = 6,    ///< client → server: stop serving (empty payload)
+};
+
+/// Framing violation: carries the typed error code the server reports
+/// back before dropping the connection.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(eval::ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  eval::ErrorCode code() const { return code_; }
+
+ private:
+  eval::ErrorCode code_;
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Frame → bytes. Throws ProtocolError(kOversizedFrame) over the cap.
+std::string encode_frame(FrameType type, const std::string& payload);
+
+/// Bytes → frame; the buffer must hold exactly one frame. Throws
+/// ProtocolError on any violation (magic/version/reserved/length/checksum,
+/// trailing bytes).
+Frame decode_frame(const void* data, std::size_t size);
+
+// ------------------------------------------------------------ payloads
+
+std::string encode_request_batch(const std::vector<eval::EvalRequest>& batch);
+std::vector<eval::EvalRequest> decode_request_batch(
+    const std::string& payload);
+
+std::string encode_reply_batch(const std::vector<eval::EvalReply>& batch);
+std::vector<eval::EvalReply> decode_reply_batch(const std::string& payload);
+
+std::string encode_error(eval::ErrorCode code, const std::string& message);
+eval::EvalError decode_error(const std::string& payload);
+
+// ------------------------------------------------------------ socket io
+
+/// Writes one frame to `fd` (handles partial writes). Throws
+/// ProtocolError(kInternal) on socket failure.
+void write_frame(int fd, FrameType type, const std::string& payload);
+
+/// Reads one frame from `fd`. Returns nullopt on clean EOF at a frame
+/// boundary; throws ProtocolError on mid-frame EOF or any framing
+/// violation. The payload is read (and bounded) before validation, so a
+/// malformed frame consumes exactly its declared bytes.
+std::optional<Frame> read_frame(int fd);
+
+}  // namespace wp::svc
