@@ -20,138 +20,16 @@
 #include "proc/experiment.hpp"
 #include "sim/oracle.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace wp::bench {
 
-// ------------------------------------------------------------ JSON writer
-
-/// Minimal streaming JSON emitter for bench artifacts (BENCH_*.json):
-/// begin/end object/array with automatic comma placement and two-space
-/// indentation, string escaping for the control/quote/backslash set.
-/// Numbers print with enough digits to round-trip doubles. No dependency,
-/// no DOM — the benches stream straight into an ofstream.
-class JsonWriter {
- public:
-  explicit JsonWriter(std::ostream& os) : os_(os) {}
-
-  JsonWriter& begin_object() { return open('{'); }
-  JsonWriter& end_object() { return close('}'); }
-  JsonWriter& begin_array() { return open('['); }
-  JsonWriter& end_array() { return close(']'); }
-
-  /// Key of the next value inside an object: writer.key("x").value(1.0);
-  JsonWriter& key(const std::string& name) {
-    separate();
-    quote(name);
-    os_ << ": ";
-    just_keyed_ = true;
-    return *this;
-  }
-
-  JsonWriter& value(const std::string& text) {
-    separate();
-    quote(text);
-    return *this;
-  }
-  JsonWriter& value(const char* text) { return value(std::string(text)); }
-  JsonWriter& value(double number) {
-    separate();
-    std::ostringstream formatted;
-    formatted.precision(17);
-    formatted << number;
-    os_ << formatted.str();
-    return *this;
-  }
-  JsonWriter& value(unsigned long long number) {
-    separate();
-    os_ << number;
-    return *this;
-  }
-  JsonWriter& value(unsigned long number) {
-    return value(static_cast<unsigned long long>(number));
-  }
-  JsonWriter& value(unsigned number) {
-    return value(static_cast<unsigned long long>(number));
-  }
-  JsonWriter& value(int number) {
-    separate();
-    os_ << number;
-    return *this;
-  }
-  JsonWriter& value(bool flag) {
-    separate();
-    os_ << (flag ? "true" : "false");
-    return *this;
-  }
-
-  /// key + value in one call, the dominant pattern.
-  template <typename T>
-  JsonWriter& field(const std::string& name, const T& v) {
-    key(name);
-    return value(v);
-  }
-
- private:
-  JsonWriter& open(char bracket) {
-    separate();
-    os_ << bracket;
-    ++depth_;
-    first_in_scope_ = true;
-    return *this;
-  }
-  JsonWriter& close(char bracket) {
-    --depth_;
-    if (!first_in_scope_) {
-      os_ << "\n";
-      indent();
-    }
-    os_ << bracket;
-    first_in_scope_ = false;
-    return *this;
-  }
-  void separate() {
-    if (just_keyed_) {
-      just_keyed_ = false;  // value follows its key inline
-      return;
-    }
-    if (!first_in_scope_) os_ << ",";
-    if (depth_ > 0) {
-      os_ << "\n";
-      indent();
-    }
-    first_in_scope_ = false;
-  }
-  void indent() {
-    for (int i = 0; i < depth_; ++i) os_ << "  ";
-  }
-  void quote(const std::string& text) {
-    os_ << '"';
-    for (const char c : text) {
-      switch (c) {
-        case '"': os_ << "\\\""; break;
-        case '\\': os_ << "\\\\"; break;
-        case '\n': os_ << "\\n"; break;
-        case '\r': os_ << "\\r"; break;
-        case '\t': os_ << "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buffer[8];
-            std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-            os_ << buffer;
-          } else {
-            os_ << c;
-          }
-      }
-    }
-    os_ << '"';
-  }
-
-  std::ostream& os_;
-  int depth_ = 0;
-  bool first_in_scope_ = true;
-  bool just_keyed_ = false;
-};
+// The JSON emitter moved to src/util/json.hpp (wp::json::JsonWriter) so
+// library code — the metrics registry, the daemon's stats-scrape reply,
+// the trace exporter — writes the same artifact format as the benches.
+// The alias keeps the historical wp::bench::JsonWriter spelling working.
+using JsonWriter = json::JsonWriter;
 
 // Flag parsing lives in wp::cli::ArgParser (src/cli/arg_parser.hpp) —
 // shared by every bench and by the service binaries, so the flag

@@ -96,9 +96,10 @@ wp::gen::EnsembleConfig make_config() {
 }
 
 /// Runs one config sequentially and pooled, prints the family table, writes
-/// the CSVs, and returns whether the two runs were bit-identical.
+/// the CSVs and the JSON artifact, and returns whether the two runs were
+/// bit-identical.
 bool run_and_report(const wp::gen::EnsembleConfig& config,
-                    const std::string& prefix) {
+                    const std::string& prefix, const std::string& json_path) {
   using namespace wp;
   const auto sequential_start = Clock::now();
   const gen::EnsembleReport sequential = gen::run_ensemble_sequential(config);
@@ -164,7 +165,42 @@ bool run_and_report(const wp::gen::EnsembleConfig& config,
   }
   std::cout << "wrote " << prefix << "_samples.csv ("
             << parallel.samples.size() << " rows) and " << prefix
-            << "_families.csv\n\n";
+            << "_families.csv\n";
+
+  // Machine artifact for the perf flight recorder (tools/bench_diff):
+  // wall-clock totals, the pool speedup and per-family aggregate means.
+  {
+    std::ofstream json_file(json_path);
+    bench::JsonWriter json(json_file);
+    json.begin_object();
+    json.field("bench", "ensembles");
+    json.field("samples_per_family", config.samples_per_family);
+    json.field("deterministic", identical);
+    json.field("sequential_ms", sequential_s * 1000.0);
+    json.field("parallel_ms", parallel_s * 1000.0);
+    json.field("pool_speedup", parallel_s > 0.0 ? sequential_s / parallel_s
+                                                : 0.0);
+    json.key("engine").begin_object();
+    json.field("incremental", parallel.engine_incremental);
+    json.field("fallbacks", parallel.engine_fallbacks);
+    json.end_object();
+    json.key("families").begin_array();
+    for (const auto& f : parallel.families) {
+      json.begin_object();
+      json.field("family", f.family);
+      json.field("samples", static_cast<unsigned long long>(f.samples));
+      json.field("th_mean", f.th_mean);
+      json.field("rs_mean", f.rs_mean);
+      json.field("area_mean", f.area_mean);
+      json.field("anneal_ms_mean", f.anneal_ms_mean);
+      json.field("throughput_ms_mean", f.throughput_ms_mean);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    json_file << "\n";
+  }
+  std::cout << "wrote " << json_path << "\n\n";
   return identical;
 }
 
@@ -184,6 +220,8 @@ int main(int argc, char** argv) {
   parser.option("--families", "a,b,c", "",
                 "subset of families to run (default: all)");
   parser.flag("--no-sim", "skip the netlist-simulation pass");
+  parser.option("--json", "PATH", "BENCH_ensembles.json",
+                "perf flight-recorder artifact");
   parser.positional("prefix", "bench_ensembles",
                     "artifact name prefix (BENCH_<prefix>.json)");
   parser.parse_or_exit(argc, argv);
@@ -231,5 +269,5 @@ int main(int argc, char** argv) {
                     : "")
             << ", " << ThreadPool::shared().size() << " pool workers\n\n";
 
-  return run_and_report(config, prefix) ? 0 : 1;
+  return run_and_report(config, prefix, parser.get("--json")) ? 0 : 1;
 }

@@ -193,6 +193,9 @@ int main(int argc, char** argv) {
   parser.option("--base-port", "N", "16", "first worker port");
   parser.option("--out-prefix", "P", "wirepipe_shard",
                 "CSV artifact prefix");
+  parser.flag("--stats",
+              "scrape each worker's live stats (kStatsRequest) before "
+              "shutdown and print the JSON documents");
   parser.parse_or_exit(argc, argv);
 
   const std::string mode = parser.positional_value();
@@ -356,6 +359,21 @@ int main(int argc, char** argv) {
               << (match ? "replies match in-process"
                         : "MISMATCH vs in-process replies")
               << "\n";
+  }
+
+  if (parser.has("--stats")) {
+    // Live scrape over the same sockets the work went through — the
+    // daemons are still up, so the counters reflect this run.
+    for (std::size_t w = 0; w < fleet.workers(); ++w) {
+      try {
+        std::cout << "worker " << w << " stats: "
+                  << fleet.client(w).stats_json();
+      } catch (const std::exception& e) {
+        std::cerr << "worker " << w << " stats scrape failed: " << e.what()
+                  << "\n";
+        ok = false;
+      }
+    }
   }
 
   fleet.stop();

@@ -9,6 +9,8 @@
 #include "gen/instances.hpp"
 #include "gen/topologies.hpp"
 #include "graph/throughput_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/oracle.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -17,6 +19,39 @@
 namespace wp::eval {
 
 namespace {
+
+/// Per-kind request counter + latency histogram, resolved once. This is
+/// THE choke point every evaluation path funnels through (in-process and
+/// daemon alike), so instrumenting it covers experiments, the optimizer,
+/// the ensembles and the service in one place.
+struct KindMetrics {
+  obs::Counter& requests;
+  obs::Histogram& latency_ns;
+};
+
+KindMetrics& kind_metrics(RequestKind kind) {
+  obs::Registry& registry = obs::Registry::global();
+  auto make = [&registry](RequestKind k) {
+    const std::string name = request_kind_name(k);
+    return KindMetrics{registry.counter("eval/requests/" + name),
+                       registry.histogram("eval/latency_ns/" + name)};
+  };
+  static KindMetrics experiment = make(RequestKind::kExperiment);
+  static KindMetrics throughput = make(RequestKind::kWp2Throughput);
+  static KindMetrics floorplan = make(RequestKind::kFloorplanAnneal);
+  static KindMetrics sample = make(RequestKind::kEnsembleSample);
+  switch (kind) {
+    case RequestKind::kExperiment:
+      return experiment;
+    case RequestKind::kWp2Throughput:
+      return throughput;
+    case RequestKind::kFloorplanAnneal:
+      return floorplan;
+    case RequestKind::kEnsembleSample:
+      return sample;
+  }
+  return experiment;  // unknown kinds fail below; attribute arbitrarily
+}
 
 EvalReply eval_experiment(const ExperimentJob& job, sim::SimOracle& oracle) {
   EvalReply reply;
@@ -94,6 +129,10 @@ EvalReply eval_sample(const gen::SampleJob& job, sim::GoldenCache* cache) {
 }  // namespace
 
 EvalReply evaluate(const EvalRequest& request, const EvalContext& context) {
+  WP_SPAN("eval/evaluate");
+  KindMetrics& metrics = kind_metrics(request.kind);
+  metrics.requests.inc();
+  const obs::ScopedTimer timer(metrics.latency_ns);
   try {
     sim::SimOracle& oracle =
         context.oracle != nullptr ? *context.oracle : sim::SimOracle::shared();
@@ -115,8 +154,10 @@ EvalReply evaluate(const EvalRequest& request, const EvalContext& context) {
         "unknown request kind " +
             std::to_string(static_cast<int>(request.kind)));
   } catch (const std::exception& e) {
+    obs::Registry::global().counter("eval/errors").inc();
     return EvalReply::make_error(ErrorCode::kEvalFailed, e.what());
   } catch (...) {
+    obs::Registry::global().counter("eval/errors").inc();
     return EvalReply::make_error(ErrorCode::kEvalFailed,
                                  "non-standard exception");
   }

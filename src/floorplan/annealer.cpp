@@ -10,6 +10,8 @@
 
 #include "floorplan/pack_engine.hpp"
 #include "graph/throughput_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,6 +20,30 @@ namespace wp::fplan {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Anneal counters flushed ONCE per run from the AnnealResult tallies the
+/// hot loop already keeps — the loop itself stays free of atomics, so the
+/// obs layer costs nothing per move.
+struct AnnealMetrics {
+  obs::Counter& runs;
+  obs::Counter& evaluations;
+  obs::Counter& accepted_moves;
+  obs::Counter& throughput_evals;
+  obs::Counter& throughput_cache_hits;
+  obs::Histogram& run_ns;
+
+  static AnnealMetrics& get() {
+    obs::Registry& registry = obs::Registry::global();
+    static AnnealMetrics metrics{
+        registry.counter("anneal/runs"),
+        registry.counter("anneal/evaluations"),
+        registry.counter("anneal/accepted_moves"),
+        registry.counter("anneal/throughput_evals"),
+        registry.counter("anneal/throughput_cache_hits"),
+        registry.histogram("anneal/run_ns")};
+    return metrics;
+  }
+};
 
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
@@ -72,6 +98,7 @@ class CostModel {
       if (stats) ++stats->throughput_cache_hits;
       return it->second;
     }
+    WP_SPAN("anneal/throughput");
     const auto oracle_start = Clock::now();
     const double th = options_.throughput_engine != nullptr
                           ? options_.throughput_engine->throughput(demand)
@@ -116,8 +143,10 @@ double placement_cost(const Instance& inst, const Placement& placement,
 }
 
 AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
+  WP_SPAN("anneal/run");
   WP_REQUIRE(inst.blocks.size() >= 2, "need at least two blocks");
   WP_REQUIRE(options.iterations > 0, "need at least one iteration");
+  const std::uint64_t run_start_ns = obs::now_ns();
   wp::Rng rng(options.seed);
 
   AnnealResult best;
@@ -135,7 +164,10 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
   const bool fast = options.pack_engine == PackEngine::kFast;
   const auto initial_pack_start = Clock::now();
   std::optional<IncrementalPacker> packer;
-  if (fast) packer.emplace(inst, current);
+  {
+    WP_SPAN("anneal/pack");
+    if (fast) packer.emplace(inst, current);
+  }
   Placement scratch;
   if (!fast) scratch = pack(inst, current);
   best.pack_ms += ms_since(initial_pack_start);
@@ -187,6 +219,18 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
         after.incremental() - engine_before.incremental();
     best.engine_fallbacks = after.fallbacks - engine_before.fallbacks;
   }
+  // One flush per run (not per move): the registry sees the aggregate at
+  // hot-loop-free cost.
+  AnnealMetrics& metrics = AnnealMetrics::get();
+  metrics.runs.inc();
+  metrics.evaluations.add(static_cast<std::uint64_t>(best.evaluations));
+  metrics.accepted_moves.add(
+      static_cast<std::uint64_t>(best.accepted_moves));
+  metrics.throughput_evals.add(
+      static_cast<std::uint64_t>(best.throughput_evals));
+  metrics.throughput_cache_hits.add(
+      static_cast<std::uint64_t>(best.throughput_cache_hits));
+  metrics.run_ns.record(obs::now_ns() - run_start_ns);
   return best;
 }
 

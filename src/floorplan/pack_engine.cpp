@@ -2,9 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace wp::fplan {
+
+namespace {
+
+/// Pack-path counters. Packs run millions of times per anneal, so the
+/// record path is exactly one relaxed fetch_add per pack — no locks, no
+/// registry lookups after the first call.
+struct PackMetrics {
+  obs::Counter& fast_packs;
+  obs::Counter& delta_packs;
+  obs::Counter& full_packs;
+
+  static PackMetrics& get() {
+    obs::Registry& registry = obs::Registry::global();
+    static PackMetrics metrics{
+        registry.counter("pack/fast_packs"),
+        registry.counter("pack/incremental/delta_packs"),
+        registry.counter("pack/incremental/full_packs")};
+    return metrics;
+  }
+};
+
+}  // namespace
 
 const char* pack_engine_name(PackEngine engine) {
   switch (engine) {
@@ -89,6 +112,7 @@ void evaluate_pass(const Instance& inst, const std::vector<int>& negative,
 }  // namespace
 
 Placement pack_fast(const Instance& inst, const SequencePair& sp) {
+  PackMetrics::get().fast_packs.inc();
   const std::size_t n = inst.blocks.size();
   WP_REQUIRE(sp.valid(n), "invalid sequence pair for this instance");
 
@@ -243,10 +267,12 @@ const Placement& IncrementalPacker::apply(const AppliedMove& move) {
     trail_.y_full = placement_.y;
     evaluate_full();
     ++full_packs_;
+    PackMetrics::get().full_packs.inc();
   } else {
     trail_.full = false;
     evaluate_suffix(from);
     ++delta_packs_;
+    PackMetrics::get().delta_packs.inc();
   }
   can_revert_ = true;
   return placement_;

@@ -3,9 +3,50 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace wp::graph {
+
+namespace {
+
+/// Obs mirror of ThroughputEngine::Stats, flushed once per engine at
+/// destruction (engines are per-worker; the query path stays atomic-free).
+struct EngineMetrics {
+  obs::Counter& queries;
+  obs::Counter& unchanged;
+  obs::Counter& acyclic;
+  obs::Counter& cycle_hits;
+  obs::Counter& warm_hits;
+  obs::Counter& fallbacks;
+  obs::Counter& undos;
+
+  static EngineMetrics& get() {
+    obs::Registry& registry = obs::Registry::global();
+    static EngineMetrics metrics{
+        registry.counter("graph/engine/queries"),
+        registry.counter("graph/engine/unchanged"),
+        registry.counter("graph/engine/acyclic"),
+        registry.counter("graph/engine/cycle_hits"),
+        registry.counter("graph/engine/warm_hits"),
+        registry.counter("graph/engine/fallbacks"),
+        registry.counter("graph/engine/undos")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+ThroughputEngine::~ThroughputEngine() {
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.queries.add(stats_.queries);
+  metrics.unchanged.add(stats_.unchanged);
+  metrics.acyclic.add(stats_.acyclic);
+  metrics.cycle_hits.add(stats_.cycle_hits);
+  metrics.warm_hits.add(stats_.warm_hits);
+  metrics.fallbacks.add(stats_.fallbacks);
+  metrics.undos.add(stats_.undos);
+}
 
 ThroughputEngine::ThroughputEngine(Digraph base) : g_(std::move(base)) {
   const auto num_edges = static_cast<std::size_t>(g_.num_edges());

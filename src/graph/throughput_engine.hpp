@@ -86,6 +86,11 @@ class ThroughputEngine {
 
   explicit ThroughputEngine(Digraph base);
 
+  /// Flushes this engine's Stats into the obs registry ("graph/engine/*")
+  /// — engines are per-worker and short-lived, so one flush at teardown
+  /// aggregates across restarts without touching the query hot path.
+  ~ThroughputEngine();
+
   /// System throughput (minimum cycle ratio) with per-connection RS counts
   /// from `demand`; connections not mentioned revert to the base graph's
   /// counts, unknown labels are ignored. Exactly equal to a fresh

@@ -1,0 +1,175 @@
+#include "obs/bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace wp::obs {
+
+namespace {
+
+bool has_token(const std::string& key, const std::string& token) {
+  // '_'-separated token match: "fast_ms_per_pack" has tokens
+  // {fast, ms, per, pack}.
+  std::size_t start = 0;
+  while (start <= key.size()) {
+    std::size_t end = key.find('_', start);
+    if (end == std::string::npos) end = key.size();
+    if (key.compare(start, end - start, token) == 0) return true;
+    start = end + 1;
+  }
+  return false;
+}
+
+bool contains(const std::string& key, const std::string& needle) {
+  return key.find(needle) != std::string::npos;
+}
+
+/// Scale factor from this metric's unit to milliseconds, for the noise
+/// floor. Non-time metrics return 0 (floor never applies).
+double to_ms_scale(const std::string& key) {
+  if (has_token(key, "ms")) return 1.0;
+  if (has_token(key, "us")) return 1e-3;
+  if (has_token(key, "ns")) return 1e-6;
+  return 0.0;
+}
+
+/// Flattens every numeric leaf of a document into path → value.
+/// Array elements use index paths ("packing[1].fast_ms_per_pack"), so the
+/// diff only lines up when both documents keep the same ordering — which
+/// the bench emitters guarantee (fixed scenario lists).
+void flatten(const json::Value& value, const std::string& path,
+             const std::string& leaf_key,
+             std::map<std::string, std::pair<std::string, double>>& out) {
+  switch (value.kind()) {
+    case json::Value::Kind::kNumber:
+      out.emplace(path, std::make_pair(leaf_key, value.as_double()));
+      break;
+    case json::Value::Kind::kObject:
+      for (const json::Value::Member& member : value.members()) {
+        const std::string child =
+            path.empty() ? member.first : path + "." + member.first;
+        flatten(member.second, child, member.first, out);
+      }
+      break;
+    case json::Value::Kind::kArray:
+      for (std::size_t i = 0; i < value.size(); ++i)
+        flatten(value.at(i), path + "[" + std::to_string(i) + "]", leaf_key,
+                out);
+      break;
+    default:
+      break;  // strings/bools/nulls are labels, not metrics
+  }
+}
+
+const char* direction_name(MetricDirection direction) {
+  switch (direction) {
+    case MetricDirection::kLowerIsBetter:
+      return "lower_is_better";
+    case MetricDirection::kHigherIsBetter:
+      return "higher_is_better";
+    case MetricDirection::kInformational:
+      return "informational";
+  }
+  return "informational";
+}
+
+}  // namespace
+
+MetricDirection metric_direction(const std::string& key) {
+  if (contains(key, "per_min") || contains(key, "speedup") ||
+      contains(key, "hit_rate"))
+    return MetricDirection::kHigherIsBetter;
+  if (to_ms_scale(key) != 0.0) return MetricDirection::kLowerIsBetter;
+  return MetricDirection::kInformational;
+}
+
+std::size_t BenchDiffReport::regressions() const {
+  std::size_t n = 0;
+  for (const MetricDelta& delta : deltas)
+    if (delta.regression) ++n;
+  return n;
+}
+
+BenchDiffReport diff_benchmarks(const json::Value& baseline,
+                                const json::Value& fresh,
+                                const BenchDiffOptions& options) {
+  std::map<std::string, std::pair<std::string, double>> base_leaves;
+  std::map<std::string, std::pair<std::string, double>> fresh_leaves;
+  flatten(baseline, "", "", base_leaves);
+  flatten(fresh, "", "", fresh_leaves);
+
+  BenchDiffReport report;
+  for (const auto& [path, base_entry] : base_leaves) {
+    const auto it = fresh_leaves.find(path);
+    if (it == fresh_leaves.end()) {
+      report.missing_in_fresh.push_back(path);
+      continue;
+    }
+    const std::string& key = base_entry.first;
+    MetricDelta delta;
+    delta.path = path;
+    delta.baseline = base_entry.second;
+    delta.fresh = it->second.second;
+    delta.direction = metric_direction(key);
+
+    const double denom = std::fabs(delta.baseline);
+    double relative =
+        denom == 0.0 ? 0.0 : (delta.fresh - delta.baseline) / denom;
+    if (delta.direction == MetricDirection::kHigherIsBetter)
+      relative = -relative;  // positive = worse in every direction
+    delta.change = relative;
+
+    if (delta.direction != MetricDirection::kInformational) {
+      const double ms_scale = to_ms_scale(key);
+      if (ms_scale != 0.0) {
+        const double floor_in_unit = options.min_ms / ms_scale;
+        delta.skipped_small = std::fabs(delta.baseline) < floor_in_unit &&
+                              std::fabs(delta.fresh) < floor_in_unit;
+      }
+      delta.regression =
+          !delta.skipped_small && delta.change > options.threshold;
+    }
+    report.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [path, entry] : fresh_leaves) {
+    (void)entry;
+    if (base_leaves.find(path) == base_leaves.end())
+      report.missing_in_baseline.push_back(path);
+  }
+  return report;
+}
+
+void write_diff_report(const BenchDiffReport& report,
+                       const BenchDiffOptions& options,
+                       json::JsonWriter& json) {
+  json.begin_object();
+  json.field("schema", "wirepipe-bench-diff/1")
+      .field("threshold", options.threshold)
+      .field("min_ms", options.min_ms)
+      .field("pass", report.pass())
+      .field("regressions",
+             static_cast<unsigned long long>(report.regressions()));
+  json.key("metrics").begin_array();
+  for (const MetricDelta& delta : report.deltas) {
+    json.begin_object();
+    json.field("path", delta.path)
+        .field("baseline", delta.baseline)
+        .field("fresh", delta.fresh)
+        .field("change", delta.change)
+        .field("direction", direction_name(delta.direction))
+        .field("regression", delta.regression);
+    if (delta.skipped_small) json.field("skipped_small", true);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("missing_in_fresh").begin_array();
+  for (const std::string& path : report.missing_in_fresh) json.value(path);
+  json.end_array();
+  json.key("missing_in_baseline").begin_array();
+  for (const std::string& path : report.missing_in_baseline) json.value(path);
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace wp::obs

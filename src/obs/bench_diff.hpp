@@ -1,0 +1,82 @@
+// The perf flight recorder's comparator: committed BENCH_*.json snapshot
+// vs a fresh run, with a typed verdict per metric.
+//
+// Both documents are walked in parallel; every numeric leaf shared by the
+// two is classified by its key name:
+//
+//   * lower-is-better  — wall-clock / latency metrics: any '_'-separated
+//     token of the key is "ms", "us" or "ns" (anneal_ms, reply_p99_ms,
+//     naive_ms_per_pack, incremental_us_per_move);
+//   * higher-is-better — rate / speedup metrics: the key contains
+//     "per_min", "speedup" or "hit_rate";
+//   * informational    — everything else (areas, throughput ratios,
+//     counts, shares): drift is reported but never fails the gate.
+//
+// A directional metric regresses when the fresh value is worse than the
+// baseline by more than `threshold` (relative). Tiny wall-clock metrics
+// (both sides under `min_ms` for ms-metrics, scaled for us/ns) are
+// skipped: a 0.2 ms stage timing doubles on scheduler noise alone, and a
+// gate that cries wolf gets deleted. Every skip is visible in the report.
+//
+// Used by tools/bench_diff (the CI gate) and unit-tested with injected
+// slowdowns in tests/test_obs.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace wp::obs {
+
+enum class MetricDirection {
+  kLowerIsBetter,   ///< wall-clock / latency
+  kHigherIsBetter,  ///< rates, speedups
+  kInformational,   ///< reported, never gated
+};
+
+/// Classification by key name (see file comment).
+MetricDirection metric_direction(const std::string& key);
+
+struct MetricDelta {
+  std::string path;  ///< e.g. "packing[1].fast_ms_per_pack"
+  double baseline = 0.0;
+  double fresh = 0.0;
+  /// Relative change, sign-normalized so positive = worse: (fresh −
+  /// baseline)/|baseline| for lower-is-better, negated for
+  /// higher-is-better, raw for informational. 0 when baseline is 0.
+  double change = 0.0;
+  MetricDirection direction = MetricDirection::kInformational;
+  bool regression = false;
+  bool skipped_small = false;  ///< under the noise floor, not gated
+};
+
+struct BenchDiffOptions {
+  double threshold = 0.25;  ///< relative regression that fails the gate
+  /// Noise floor for wall-clock metrics, in milliseconds (us/ns keys are
+  /// converted). A metric is gated only when baseline or fresh exceeds it.
+  double min_ms = 1.0;
+};
+
+struct BenchDiffReport {
+  std::vector<MetricDelta> deltas;  ///< every shared numeric leaf
+  /// Numeric leaves present in one document only (schema drift — reported
+  /// loudly so a silently vanished metric cannot pass the gate unnoticed).
+  std::vector<std::string> missing_in_fresh;
+  std::vector<std::string> missing_in_baseline;
+
+  std::size_t regressions() const;
+  /// The gate: no regressions AND nothing expected went missing.
+  bool pass() const { return regressions() == 0 && missing_in_fresh.empty(); }
+};
+
+BenchDiffReport diff_benchmarks(const json::Value& baseline,
+                                const json::Value& fresh,
+                                const BenchDiffOptions& options = {});
+
+/// Streams the report as one JSON object (the CI diff artifact).
+void write_diff_report(const BenchDiffReport& report,
+                       const BenchDiffOptions& options,
+                       json::JsonWriter& json);
+
+}  // namespace wp::obs

@@ -15,12 +15,38 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/hash.hpp"
 
 namespace wp::sim {
 
 namespace {
+
+/// Obs mirror of GoldenCache::Stats: bumped at the same sites, so the
+/// registry (and a daemon stats scrape) sees cache behaviour without
+/// anyone holding a GoldenCache reference. Aggregated across instances.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& golden_runs;
+  obs::Counter& disk_hits;
+  obs::Counter& disk_stores;
+
+  static CacheMetrics& get() {
+    obs::Registry& registry = obs::Registry::global();
+    static CacheMetrics metrics{
+        registry.counter("sim/golden_cache/hits"),
+        registry.counter("sim/golden_cache/misses"),
+        registry.counter("sim/golden_cache/evictions"),
+        registry.counter("sim/golden_cache/golden_runs"),
+        registry.counter("sim/golden_cache/disk_hits"),
+        registry.counter("sim/golden_cache/disk_stores")};
+    return metrics;
+  }
+};
 
 // ---------------------------------------------------- on-disk record format
 //
@@ -359,10 +385,12 @@ std::shared_ptr<const GoldenRecord> GoldenCache::get_or_run(
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      CacheMetrics::get().hits.inc();
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // mark recent
       slot = it->second.slot;
     } else {
       ++stats_.misses;
+      CacheMetrics::get().misses.inc();
       lru_.push_front(key);
       slot = std::make_shared<Slot>();
       entries_[key] = Entry{slot, lru_.begin()};
@@ -376,6 +404,7 @@ std::shared_ptr<const GoldenRecord> GoldenCache::get_or_run(
             entries_.erase(entry);
             lru_.erase(it);
             ++stats_.evictions;
+            CacheMetrics::get().evictions.inc();
             break;
           }
           if (it == lru_.begin()) break;
@@ -401,15 +430,22 @@ std::shared_ptr<const GoldenRecord> GoldenCache::get_or_run(
       const bool from_disk = record != nullptr;
       bool stored = false;
       if (!from_disk) {
+        WP_SPAN("sim/golden_run");
         record = std::make_shared<GoldenRecord>(compute());
         if (!path.empty()) stored = save_golden_record(*record, key, path);
       }
       std::lock_guard<std::mutex> lock(mutex_);
-      if (from_disk)
+      if (from_disk) {
         ++stats_.disk_hits;
-      else
+        CacheMetrics::get().disk_hits.inc();
+      } else {
         ++stats_.golden_runs;
-      if (stored) ++stats_.disk_stores;
+        CacheMetrics::get().golden_runs.inc();
+      }
+      if (stored) {
+        ++stats_.disk_stores;
+        CacheMetrics::get().disk_stores.inc();
+      }
       slot->record = std::move(record);
       slot->done = true;
     });

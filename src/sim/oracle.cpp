@@ -4,6 +4,8 @@
 
 #include "graph/cycle_ratio.hpp"
 #include "graph/throughput_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proc/blocks.hpp"
 #include "proc/cpu.hpp"
 #include "util/assert.hpp"
@@ -98,7 +100,18 @@ std::shared_ptr<SimOracle> SimOracle::make_shared(
   return std::make_shared<SimOracle>(options);
 }
 
-SimOracle::~SimOracle() = default;
+SimOracle::~SimOracle() {
+  // Spec-cache stats mirror into the registry at teardown — one flush per
+  // oracle; the lookup path stays a plain mutex-guarded map.
+  obs::Registry& registry = obs::Registry::global();
+  SpecStats stats;
+  {
+    std::lock_guard<std::mutex> lock(spec_mutex_);
+    stats = spec_stats_;
+  }
+  registry.counter("sim/oracle/spec_builds").add(stats.builds);
+  registry.counter("sim/oracle/spec_reuses").add(stats.reuses);
+}
 
 std::shared_ptr<const wp::SystemSpec> SimOracle::system_spec(
     const proc::ProgramSpec& program, const proc::CpuConfig& cpu) {
@@ -165,6 +178,7 @@ std::shared_ptr<const GoldenRecord> SimOracle::golden(
 proc::ExperimentRow SimOracle::run_experiment(
     const proc::ProgramSpec& program, const proc::CpuConfig& cpu,
     const proc::RsConfig& config, const proc::ExperimentOptions& options) {
+  WP_SPAN("sim/run_experiment");
   proc::ExperimentRow row;
   row.label = config.label;
 
@@ -236,6 +250,7 @@ double SimOracle::wp2_throughput(const proc::ProgramSpec& program,
                                  const proc::CpuConfig& cpu,
                                  const std::map<std::string, int>& rs,
                                  std::size_t fifo_capacity) {
+  WP_SPAN("sim/wp2_throughput");
   const std::uint64_t max_cycles = proc::ExperimentOptions{}.max_cycles;
   const std::shared_ptr<const GoldenRecord> golden_record =
       golden(program, cpu, max_cycles);

@@ -11,12 +11,30 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "svc/protocol.hpp"
 #include "util/assert.hpp"
 
 namespace wp::svc {
 
 namespace {
+
+/// Client-side service metrics: round-trip latency per batch and the
+/// error frames the server sent us.
+struct ClientMetrics {
+  obs::Counter& batches;
+  obs::Counter& error_replies;
+  obs::Histogram& roundtrip_ns;
+
+  static ClientMetrics& get() {
+    obs::Registry& registry = obs::Registry::global();
+    static ClientMetrics metrics{
+        registry.counter("svc/client/batches"),
+        registry.counter("svc/client/error_replies"),
+        registry.histogram("svc/client/roundtrip_ns")};
+    return metrics;
+  }
+};
 
 int try_connect(const std::string& path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -77,12 +95,17 @@ void EvalClient::close() {
 std::vector<eval::EvalReply> EvalClient::evaluate(
     const std::vector<eval::EvalRequest>& requests) {
   WP_REQUIRE(connected(), "client is not connected");
+  ClientMetrics& metrics = ClientMetrics::get();
+  metrics.batches.inc();
+  const std::uint64_t start_ns = obs::now_ns();
   write_frame(fd_, FrameType::kEvalBatch, encode_request_batch(requests));
   const std::optional<Frame> frame = read_frame(fd_);
+  metrics.roundtrip_ns.record(obs::now_ns() - start_ns);
   if (!frame.has_value())
     throw ProtocolError(eval::ErrorCode::kInternal,
                         "server closed the connection before replying");
   if (frame->type == FrameType::kError) {
+    metrics.error_replies.inc();
     const eval::EvalError error = decode_error(frame->payload);
     throw ProtocolError(error.code, "server rejected the batch: " +
                                         error.message);
@@ -106,6 +129,25 @@ bool EvalClient::ping() {
   } catch (const ProtocolError&) {
     return false;
   }
+}
+
+std::string EvalClient::stats_json() {
+  WP_REQUIRE(connected(), "client is not connected");
+  write_frame(fd_, FrameType::kStatsRequest, {});
+  const std::optional<Frame> frame = read_frame(fd_);
+  if (!frame.has_value())
+    throw ProtocolError(eval::ErrorCode::kInternal,
+                        "server closed the connection before replying");
+  if (frame->type == FrameType::kError) {
+    ClientMetrics::get().error_replies.inc();
+    const eval::EvalError error = decode_error(frame->payload);
+    throw ProtocolError(error.code,
+                        "server rejected the stats scrape: " + error.message);
+  }
+  if (frame->type != FrameType::kStatsReply)
+    throw ProtocolError(eval::ErrorCode::kMalformedFrame,
+                        "expected a stats-reply frame");
+  return frame->payload;
 }
 
 void EvalClient::shutdown_server() {

@@ -52,6 +52,11 @@ class EvalClient {
   /// Liveness probe; false when the server is gone.
   bool ping();
 
+  /// Scrapes the server's stats document (kStatsRequest → kStatsReply):
+  /// one JSON object, schema wirepipe-stats/1. Throws ProtocolError when
+  /// the server predates the stats frame or the connection fails.
+  std::string stats_json();
+
   /// Sends kShutdown and waits for the acknowledgement.
   void shutdown_server();
 

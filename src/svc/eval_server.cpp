@@ -9,13 +9,43 @@
 #include <cstring>
 #include <utility>
 
+#include <sstream>
+
 #include "eval/evaluate.hpp"
+#include "obs/metrics.hpp"
 #include "svc/ports.hpp"
 #include "util/assert.hpp"
+#include "util/json.hpp"
 
 namespace wp::svc {
 
 namespace {
+
+/// Obs mirror of EvalServer::Stats plus the batch-latency histogram —
+/// bumped at the same sites as the struct, so a stats scrape and the
+/// registry always agree. Aggregated across server instances (shards).
+struct ServerMetrics {
+  obs::Counter& connections;
+  obs::Counter& frames;
+  obs::Counter& requests;
+  obs::Counter& error_frames;
+  obs::Counter& dropped_connections;
+  obs::Counter& stats_scrapes;
+  obs::Histogram& batch_ns;
+
+  static ServerMetrics& get() {
+    obs::Registry& registry = obs::Registry::global();
+    static ServerMetrics metrics{
+        registry.counter("svc/server/connections"),
+        registry.counter("svc/server/frames"),
+        registry.counter("svc/server/requests"),
+        registry.counter("svc/server/error_frames"),
+        registry.counter("svc/server/dropped_connections"),
+        registry.counter("svc/server/stats_scrapes"),
+        registry.histogram("svc/server/batch_ns")};
+    return metrics;
+  }
+};
 
 void bind_unix(int fd, const std::string& path) {
   sockaddr_un addr{};
@@ -117,6 +147,7 @@ void EvalServer::accept_loop() {
       break;
     }
     ++stats_.connections;
+    ServerMetrics::get().connections.inc();
     connection_fds_.push_back(fd);
     connection_threads_.emplace_back(
         [this, fd] { handle_connection(fd); });
@@ -141,6 +172,8 @@ void EvalServer::handle_connection(int fd) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.error_frames;
       ++stats_.dropped_connections;
+      ServerMetrics::get().error_frames.inc();
+      ServerMetrics::get().dropped_connections.inc();
       drop = true;
       continue;
     }
@@ -149,6 +182,7 @@ void EvalServer::handle_connection(int fd) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.frames;
     }
+    ServerMetrics::get().frames.inc();
     try {
       if (!handle_frame(fd, *frame)) break;
     } catch (const ProtocolError&) {
@@ -159,6 +193,41 @@ void EvalServer::handle_connection(int fd) {
   // descriptor number. Just mark the connection finished by shutting it
   // down (idempotent).
   ::shutdown(fd, SHUT_RDWR);
+}
+
+std::string EvalServer::stats_json() const {
+  const Stats server = stats();
+  const sim::GoldenCache::Stats cache = oracle_->stats();
+  const sim::SimOracle::SpecStats specs = oracle_->spec_stats();
+  std::ostringstream os;
+  json::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", "wirepipe-stats/1");
+  json.key("server").begin_object();
+  json.field("connections", server.connections)
+      .field("frames", server.frames)
+      .field("requests", server.requests)
+      .field("error_frames", server.error_frames)
+      .field("dropped_connections", server.dropped_connections)
+      .field("workers", static_cast<unsigned long long>(pool_->size()));
+  json.end_object();
+  json.key("golden_cache").begin_object();
+  json.field("hits", cache.hits)
+      .field("misses", cache.misses)
+      .field("golden_runs", cache.golden_runs)
+      .field("evictions", cache.evictions)
+      .field("entries", static_cast<unsigned long long>(cache.entries))
+      .field("disk_hits", cache.disk_hits)
+      .field("disk_stores", cache.disk_stores);
+  json.end_object();
+  json.key("spec_cache").begin_object();
+  json.field("builds", specs.builds).field("reuses", specs.reuses);
+  json.end_object();
+  json.key("metrics");
+  obs::Registry::global().write_json(json);
+  json.end_object();
+  os << "\n";
+  return os.str();
 }
 
 bool EvalServer::handle_frame(int fd, const Frame& frame) {
@@ -183,21 +252,43 @@ bool EvalServer::handle_frame(int fd, const Frame& frame) {
                                  e.what()));
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.error_frames;
+        ServerMetrics::get().error_frames.inc();
         return true;
       }
       eval::EvalContext context;
       context.oracle = oracle_.get();
+      const std::uint64_t batch_start_ns = obs::now_ns();
       const std::vector<eval::EvalReply> replies =
           eval::evaluate_batch(requests, context, pool_.get());
+      ServerMetrics::get().batch_ns.record(obs::now_ns() - batch_start_ns);
       {
         std::lock_guard<std::mutex> lock(mutex_);
         stats_.requests += requests.size();
       }
+      ServerMetrics::get().requests.add(requests.size());
       write_frame(fd, FrameType::kReplyBatch, encode_reply_batch(replies));
+      return true;
+    }
+    case FrameType::kStatsRequest: {
+      if (!frame.payload.empty()) {
+        // The scrape is defined as payloadless; anything else is a
+        // malformed request, not a framing violation — keep the
+        // connection.
+        write_frame(fd, FrameType::kError,
+                    encode_error(eval::ErrorCode::kMalformedRequest,
+                                 "kStatsRequest carries no payload"));
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.error_frames;
+        ServerMetrics::get().error_frames.inc();
+        return true;
+      }
+      ServerMetrics::get().stats_scrapes.inc();
+      write_frame(fd, FrameType::kStatsReply, stats_json());
       return true;
     }
     case FrameType::kReplyBatch:
     case FrameType::kError:
+    case FrameType::kStatsReply:
     case FrameType::kPong: {
       // Server-to-client frame types arriving at the server: protocol
       // misuse, but harmless — typed error, keep the connection.

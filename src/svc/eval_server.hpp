@@ -83,6 +83,11 @@ class EvalServer {
   };
   Stats stats() const;
 
+  /// The kStatsRequest scrape document (schema wirepipe-stats/1): server
+  /// counters, the oracle's golden-cache and spec-cache stats, and the
+  /// full obs metrics registry, as one JSON object.
+  std::string stats_json() const;
+
  private:
   void accept_loop();
   void handle_connection(int fd);

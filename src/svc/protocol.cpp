@@ -20,7 +20,7 @@ constexpr std::size_t kChecksumSize = 8;
 
 bool valid_frame_type(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kEvalBatch) &&
-         type <= static_cast<std::uint8_t>(FrameType::kShutdown);
+         type <= static_cast<std::uint8_t>(FrameType::kStatsReply);
 }
 
 std::uint64_t payload_checksum(const std::string& payload) {

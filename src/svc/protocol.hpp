@@ -14,7 +14,10 @@
 //
 // Payloads are wire::Writer streams: an eval-batch frame carries
 // u32 count + count EvalRequest encodings, a reply-batch frame u32 count +
-// count EvalReply encodings, an error frame u32 ErrorCode + string.
+// count EvalReply encodings, an error frame u32 ErrorCode + string. The
+// stats pair is the exception: kStatsRequest is empty and kStatsReply
+// carries a raw UTF-8 JSON document (schema wirepipe-stats/1) — the scrape
+// is for humans and dashboards, so it skips the binary layer.
 // Decoders are strict — wrong magic, foreign version, nonzero reserved
 // bits, a declared length over kMaxFramePayload, or a checksum mismatch
 // throw ProtocolError carrying a typed eval::ErrorCode, and the reader
@@ -40,12 +43,14 @@ constexpr std::uint8_t kFrameVersion = 1;
 constexpr std::uint32_t kMaxFramePayload = 64u << 20;
 
 enum class FrameType : std::uint8_t {
-  kEvalBatch = 1,   ///< client → server: u32 count + EvalRequest...
-  kReplyBatch = 2,  ///< server → client: u32 count + EvalReply...
-  kError = 3,       ///< server → client: u32 ErrorCode + string message
-  kPing = 4,        ///< liveness probe (empty payload)
-  kPong = 5,        ///< ping/shutdown acknowledgement (empty payload)
-  kShutdown = 6,    ///< client → server: stop serving (empty payload)
+  kEvalBatch = 1,     ///< client → server: u32 count + EvalRequest...
+  kReplyBatch = 2,    ///< server → client: u32 count + EvalReply...
+  kError = 3,         ///< server → client: u32 ErrorCode + string message
+  kPing = 4,          ///< liveness probe (empty payload)
+  kPong = 5,          ///< ping/shutdown acknowledgement (empty payload)
+  kShutdown = 6,      ///< client → server: stop serving (empty payload)
+  kStatsRequest = 7,  ///< client → server: scrape stats (empty payload)
+  kStatsReply = 8,    ///< server → client: UTF-8 JSON stats document
 };
 
 /// Framing violation: carries the typed error code the server reports

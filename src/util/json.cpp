@@ -1,0 +1,405 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace wp::json {
+
+// ------------------------------------------------------------ JsonWriter
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  separate();
+  quote(name);
+  os_ << ": ";
+  just_keyed_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  separate();
+  quote(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separate();
+  if (!std::isfinite(number)) {
+    // NaN / ±Infinity have no JSON representation; a bare `nan` token
+    // makes the whole artifact unparseable, so degrade to null.
+    os_ << "null";
+    return *this;
+  }
+  std::ostringstream formatted;
+  formatted.precision(17);
+  formatted << number;
+  os_ << formatted.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long number) {
+  separate();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long number) {
+  separate();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  separate();
+  os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::open(char bracket) {
+  separate();
+  os_ << bracket;
+  ++depth_;
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::close(char bracket) {
+  --depth_;
+  if (!first_in_scope_) {
+    os_ << "\n";
+    indent();
+  }
+  os_ << bracket;
+  first_in_scope_ = false;
+  return *this;
+}
+
+void JsonWriter::separate() {
+  if (just_keyed_) {
+    just_keyed_ = false;  // value follows its key inline
+    return;
+  }
+  if (!first_in_scope_) os_ << ",";
+  if (depth_ > 0) {
+    os_ << "\n";
+    indent();
+  }
+  first_in_scope_ = false;
+}
+
+void JsonWriter::indent() {
+  for (int i = 0; i < depth_; ++i) os_ << "  ";
+}
+
+void JsonWriter::quote(const std::string& text) {
+  os_ << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          os_ << buffer;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+// ------------------------------------------------------------------ Value
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) throw ParseError("value is not a bool", 0);
+  return bool_;
+}
+
+double Value::as_double() const {
+  if (kind_ != Kind::kNumber) throw ParseError("value is not a number", 0);
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) throw ParseError("value is not a string", 0);
+  return string_;
+}
+
+std::size_t Value::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  throw ParseError("value is not a container", 0);
+}
+
+const Value& Value::at(std::size_t index) const {
+  if (kind_ != Kind::kArray) throw ParseError("value is not an array", 0);
+  if (index >= array_.size()) throw ParseError("array index out of range", 0);
+  return array_[index];
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) throw ParseError("value is not an object", 0);
+  for (const Member& member : object_)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+const std::vector<Value::Member>& Value::members() const {
+  if (kind_ != Kind::kObject) throw ParseError("value is not an object", 0);
+  return object_;
+}
+
+// ----------------------------------------------------------------- Parser
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value(0);
+    skip_space();
+    if (pos_ != text_.size())
+      throw ParseError("trailing bytes after the document", pos_);
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(what, pos_);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void expect_word(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p)
+        fail(std::string("bad literal (expected ") + word + ")");
+      ++pos_;
+    }
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_space();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        Value v;
+        v.kind_ = Value::Kind::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't': {
+        expect_word("true");
+        Value v;
+        v.kind_ = Value::Kind::kBool;
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        expect_word("false");
+        Value v;
+        v.kind_ = Value::Kind::kBool;
+        v.bool_ = false;
+        return v;
+      }
+      case 'n': {
+        expect_word("null");
+        return Value{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Value v;
+    v.kind_ = Value::Kind::kObject;
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_space();
+      std::string key = parse_string();
+      skip_space();
+      expect(':');
+      v.object_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_space();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Value v;
+    v.kind_ = Value::Kind::kArray;
+    skip_space();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array_.push_back(parse_value(depth + 1));
+      skip_space();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control byte in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_codepoint(out, parse_u_escape()); break;
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_u_escape() {
+    std::uint32_t code = parse_hex4();
+    // Surrogate pair: a high surrogate must be followed by \uDC00..\uDFFF.
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u')
+        fail("unpaired high surrogate");
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    return code;
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
+      else if (h >= 'a' && h <= 'f')
+        code |= static_cast<std::uint32_t>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F')
+        code |= static_cast<std::uint32_t>(h - 'A' + 10);
+      else
+        fail("bad hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  static void append_codepoint(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t first = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+      return pos_ > first;
+    };
+    if (!digits()) fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("bad number (no fraction digits)");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!digits()) fail("bad number (no exponent digits)");
+    }
+    Value v;
+    v.kind_ = Value::Kind::kNumber;
+    v.number_ = std::strtod(text_.c_str() + start, nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Value Value::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace wp::json

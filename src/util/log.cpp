@@ -2,12 +2,27 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 namespace wp {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Initial threshold: WIREPIPE_LOG when set and valid, else kWarn. Read
+/// once, before main — set_log_level (e.g. --log-level) still overrides.
+LogLevel initial_level() {
+  LogLevel level = LogLevel::kWarn;
+  const char* env = std::getenv("WIREPIPE_LOG");
+  if (env != nullptr && !parse_log_level(env, level))
+    std::fprintf(stderr, "[WARN] WIREPIPE_LOG=%s is not a log level "
+                         "(trace|debug|info|warn|error|off); using warn\n",
+                 env);
+  return level;
 }
+
+std::atomic<LogLevel> g_level{initial_level()};
+
+}  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
@@ -22,6 +37,17 @@ const char* log_level_name(LogLevel level) {
     case LogLevel::kOff: return "OFF";
   }
   return "?";
+}
+
+bool parse_log_level(const std::string& name, LogLevel& out) {
+  if (name == "trace") out = LogLevel::kTrace;
+  else if (name == "debug") out = LogLevel::kDebug;
+  else if (name == "info") out = LogLevel::kInfo;
+  else if (name == "warn") out = LogLevel::kWarn;
+  else if (name == "error") out = LogLevel::kError;
+  else if (name == "off") out = LogLevel::kOff;
+  else return false;
+  return true;
 }
 
 namespace detail {

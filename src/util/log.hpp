@@ -10,10 +10,16 @@ namespace wp {
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 /// Sets/gets the global threshold; messages below it are discarded.
+/// The initial threshold honours WIREPIPE_LOG=trace|debug|info|warn|error
+/// |off (default warn); --log-level (every ArgParser binary) overrides it.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
 const char* log_level_name(LogLevel level);
+
+/// "trace"/"debug"/"info"/"warn"/"error"/"off" (case-sensitive) → level.
+/// Returns false — leaving `out` untouched — on anything else.
+bool parse_log_level(const std::string& name, LogLevel& out);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

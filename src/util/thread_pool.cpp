@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace wp {
@@ -10,6 +11,26 @@ namespace wp {
 namespace {
 /// Pool whose worker is executing on this thread, if any.
 thread_local const ThreadPool* t_current_pool = nullptr;
+
+// Pool observability, shared across pool instances (the exploration
+// workloads use one pool at a time; per-pool split isn't worth per-name
+// registrations). Tasks are coarse — one task = one annealing restart or
+// sweep chunk — so two histogram records per task are lost in the noise.
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Gauge& queue_depth;
+  obs::Histogram& wait_ns;
+  obs::Histogram& run_ns;
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics{
+        obs::Registry::global().counter("util/pool/tasks"),
+        obs::Registry::global().gauge("util/pool/queue_depth"),
+        obs::Registry::global().histogram("util/pool/task_wait_ns"),
+        obs::Registry::global().histogram("util/pool/task_run_ns")};
+    return metrics;
+  }
+};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -31,26 +52,34 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  PoolMetrics& metrics = PoolMetrics::get();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     WP_REQUIRE(!stop_, "submit on a stopping ThreadPool");
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), obs::now_ns()});
+    metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
+  metrics.tasks.inc();
   wake_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   t_current_pool = this;
+  PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
     }
-    task();  // packaged_task captures any exception into its future
+    const std::uint64_t start_ns = obs::now_ns();
+    metrics.wait_ns.record(start_ns - task.enqueue_ns);
+    task.run();  // packaged_task captures any exception into its future
+    metrics.run_ns.record(obs::now_ns() - start_ns);
   }
 }
 

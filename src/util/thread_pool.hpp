@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -69,8 +70,16 @@ class ThreadPool {
   void enqueue(std::function<void()> task);
   void worker_loop();
 
+  /// Queue entries keep their enqueue timestamp so the obs layer can
+  /// report dispatch latency ("util/pool/task_wait_ns") alongside the live
+  /// queue-depth gauge.
+  struct QueuedTask {
+    std::function<void()> run;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stop_ = false;

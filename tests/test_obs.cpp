@@ -1,0 +1,514 @@
+// Observability suite: the metrics registry (lock-free recording from many
+// threads, log₂-bucket percentiles, deterministic sorted export, reset
+// keeping cached references valid), span tracing (runtime gating, tiny-ring
+// wraparound with a dropped counter, chrome-trace export that parses as
+// JSON), the JsonWriter/Value round trip including NaN/Inf → null, the
+// bench_diff regression gate (injected slowdown must fail, identical runs
+// must pass, noise floor and direction classes), and the kStatsRequest
+// scrape against a live in-process EvalServer — including the adversarial
+// payload-carrying scrape which must cost one kError frame, not the
+// connection.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_diff.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "svc/eval_client.hpp"
+#include "svc/eval_server.hpp"
+#include "svc/protocol.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wp::obs {
+namespace {
+
+// -------------------------------------------------------------- registry
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  Registry registry;
+  Counter& c = registry.counter("t/count");
+  c.inc();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+
+  Gauge& g = registry.gauge("t/depth");
+  g.set(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 3);
+
+  Histogram& h = registry.histogram("t/lat_ns");
+  h.record(0);
+  h.record(1);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1001u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1001.0 / 3.0);
+
+  // Same name → same object; registration is idempotent.
+  EXPECT_EQ(&registry.counter("t/count"), &c);
+  EXPECT_EQ(&registry.histogram("t/lat_ns"), &h);
+}
+
+TEST(Metrics, HistogramPercentilesAreOctaveAccurate) {
+  Histogram h;
+  // 100 values in [1024, 2048): all land in one log₂ bucket.
+  for (std::uint64_t i = 0; i < 100; ++i) h.record(1024 + i * 10);
+  const double p50 = h.percentile(50.0);
+  const double p99 = h.percentile(99.0);
+  EXPECT_GE(p50, 1024.0);
+  EXPECT_LE(p50, 2048.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 2048.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1024.0);
+}
+
+TEST(Metrics, ConcurrentRecordingLosesNothing) {
+  Registry registry;
+  Counter& hits = registry.counter("t/hits");
+  Histogram& lat = registry.histogram("t/lat_ns");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hits.inc();
+        lat.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(hits.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(lat.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Metrics, PoolTasksFeedTheGlobalRegistry) {
+  // The shared pool's instrumentation: running tasks must bump
+  // util/pool/tasks and record into the wait/run histograms.
+  Registry& registry = Registry::global();
+  const std::uint64_t tasks_before =
+      registry.counter("util/pool/tasks").value();
+  const std::uint64_t runs_before =
+      registry.histogram("util/pool/task_run_ns").count();
+
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(ThreadPool::shared().submit([i] { return i; }));
+  for (auto& f : futures) f.get();
+
+  EXPECT_GE(registry.counter("util/pool/tasks").value(), tasks_before + 16);
+  EXPECT_GE(registry.histogram("util/pool/task_run_ns").count(),
+            runs_before + 16);
+}
+
+TEST(Metrics, ExportIsDeterministicAndSorted) {
+  Registry registry;
+  // Register out of order; the snapshot and JSON must sort by name.
+  registry.counter("z/last").add(1);
+  registry.counter("a/first").add(2);
+  registry.gauge("m/mid").set(-7);
+  registry.histogram("h/lat_ns").record(42);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a/first");
+  EXPECT_EQ(snap.counters[1].first, "z/last");
+
+  const std::string a = registry.to_json();
+  const std::string b = registry.to_json();
+  EXPECT_EQ(a, b);  // byte-stable under no concurrent recording
+
+  // And it parses back with the same numbers.
+  const json::Value doc = json::Value::parse(a);
+  const json::Value* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("a/first"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("a/first")->as_double(), 2.0);
+  const json::Value* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("m/mid")->as_double(), -7.0);
+  const json::Value* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* lat = hists->find("h/lat_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->find("count")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(lat->find("max")->as_double(), 42.0);
+}
+
+TEST(Metrics, ResetAllKeepsCachedReferencesValid) {
+  Registry registry;
+  Counter& c = registry.counter("t/count");
+  Histogram& h = registry.histogram("t/lat_ns");
+  c.add(5);
+  h.record(9);
+  registry.reset_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.inc();  // the reference recorded into the same registered object
+  EXPECT_EQ(registry.counter("t/count").value(), 1u);
+}
+
+// --------------------------------------------------------------- tracing
+
+TEST(Trace, SpansRecordOnlyWhileEnabled) {
+  Tracer& tracer = Tracer::global();
+  tracer.disable();
+  tracer.clear();
+  { WP_SPAN("test/ignored"); }
+  EXPECT_EQ(tracer.event_count(), 0u);
+
+  tracer.enable(64);
+  { WP_SPAN("test/outer"); { WP_SPAN("test/inner"); } }
+  tracer.disable();
+#if WP_OBS_TRACING
+  EXPECT_EQ(tracer.event_count(), 2u);
+#else
+  EXPECT_EQ(tracer.event_count(), 0u);
+#endif
+  tracer.clear();
+}
+
+#if WP_OBS_TRACING
+TEST(Trace, TinyRingWrapsAroundAndCountsDrops) {
+  Tracer& tracer = Tracer::global();
+  tracer.disable();
+  tracer.clear();
+  tracer.enable(/*ring_capacity=*/8);
+  for (int i = 0; i < 20; ++i) { WP_SPAN("test/wrap"); }
+  tracer.disable();
+  EXPECT_EQ(tracer.event_count(), 8u);   // ring holds only the newest 8
+  EXPECT_EQ(tracer.dropped_count(), 12u);  // the other 12 were overwritten
+  tracer.clear();
+}
+
+TEST(Trace, ChromeExportIsValidJsonWithOneEventPerSpan) {
+  Tracer& tracer = Tracer::global();
+  tracer.disable();
+  tracer.clear();
+  tracer.enable(64);
+  { WP_SPAN("test/a"); }
+  { WP_SPAN("test/b"); }
+  tracer.disable();
+
+  std::ostringstream os;
+  tracer.export_chrome_trace(os);
+  const json::Value doc = json::Value::parse(os.str());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json::Value& e = events->at(i);
+    EXPECT_EQ(e.find("ph")->as_string(), "X");
+    EXPECT_GE(e.find("dur")->as_double(), 0.0);
+    const std::string name = e.find("name")->as_string();
+    EXPECT_TRUE(name == "test/a" || name == "test/b") << name;
+  }
+  tracer.clear();
+}
+#endif  // WP_OBS_TRACING
+
+// ------------------------------------------------------------ JSON layer
+
+TEST(Json, NonFiniteDoublesEmitNull) {
+  std::ostringstream os;
+  json::JsonWriter json(os);
+  json.begin_object();
+  json.field("nan", std::numeric_limits<double>::quiet_NaN());
+  json.field("inf", std::numeric_limits<double>::infinity());
+  json.field("ninf", -std::numeric_limits<double>::infinity());
+  json.field("fine", 1.5);
+  json.end_object();
+
+  const json::Value doc = json::Value::parse(os.str());
+  EXPECT_TRUE(doc.find("nan")->is_null());
+  EXPECT_TRUE(doc.find("inf")->is_null());
+  EXPECT_TRUE(doc.find("ninf")->is_null());
+  EXPECT_DOUBLE_EQ(doc.find("fine")->as_double(), 1.5);
+}
+
+TEST(Json, WriterOutputRoundTripsThroughParser) {
+  std::ostringstream os;
+  json::JsonWriter json(os);
+  json.begin_object();
+  json.field("text", "quote \" backslash \\ newline \n");
+  json.field("count", 12345678901234ull);
+  json.field("neg", -42);
+  json.field("flag", true);
+  json.key("list").begin_array();
+  json.value(1.25).null_value().value("x");
+  json.end_array();
+  json.end_object();
+
+  const json::Value doc = json::Value::parse(os.str());
+  EXPECT_EQ(doc.find("text")->as_string(), "quote \" backslash \\ newline \n");
+  EXPECT_DOUBLE_EQ(doc.find("count")->as_double(), 12345678901234.0);
+  EXPECT_DOUBLE_EQ(doc.find("neg")->as_double(), -42.0);
+  EXPECT_TRUE(doc.find("flag")->as_bool());
+  const json::Value* list = doc.find("list");
+  ASSERT_EQ(list->size(), 3u);
+  EXPECT_TRUE(list->at(1).is_null());
+  EXPECT_EQ(list->at(2).as_string(), "x");
+}
+
+TEST(Json, ParserRejectsTrailingGarbage) {
+  EXPECT_THROW(json::Value::parse("{} trailing"), json::ParseError);
+  EXPECT_THROW(json::Value::parse("[1, 2"), json::ParseError);
+  EXPECT_THROW(json::Value::parse("NaN"), json::ParseError);
+}
+
+// ------------------------------------------------------------ bench_diff
+
+TEST(BenchDiff, DirectionClassificationByKeyTokens) {
+  EXPECT_EQ(metric_direction("anneal_ms"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("reply_p99_ms"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("incremental_us_per_move"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("wait_ns"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("evals_per_min"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(metric_direction("pool_speedup"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(metric_direction("cache_hit_rate"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(metric_direction("area_mean"), MetricDirection::kInformational);
+  // "msg" must not read as a wall-clock token.
+  EXPECT_EQ(metric_direction("msg_count"), MetricDirection::kInformational);
+}
+
+TEST(BenchDiff, IdenticalRunsPass) {
+  const std::string doc =
+      "{\"anneal_ms\": 120.0, \"pool_speedup\": 3.5, \"area_mean\": 900.0}";
+  const BenchDiffReport report =
+      diff_benchmarks(json::Value::parse(doc), json::Value::parse(doc));
+  EXPECT_TRUE(report.pass());
+  EXPECT_EQ(report.regressions(), 0u);
+  EXPECT_EQ(report.deltas.size(), 3u);
+}
+
+TEST(BenchDiff, InjectedSlowdownOverThresholdFails) {
+  const json::Value baseline =
+      json::Value::parse("{\"anneal_ms\": 100.0, \"area_mean\": 900.0}");
+  // 30% slower than baseline — over the 25% gate.
+  const json::Value fresh =
+      json::Value::parse("{\"anneal_ms\": 130.0, \"area_mean\": 900.0}");
+  const BenchDiffReport report = diff_benchmarks(baseline, fresh);
+  EXPECT_FALSE(report.pass());
+  ASSERT_EQ(report.regressions(), 1u);
+  for (const MetricDelta& d : report.deltas)
+    if (d.regression) {
+      EXPECT_EQ(d.path, "anneal_ms");
+      EXPECT_NEAR(d.change, 0.30, 1e-9);
+    }
+  // 20% slower stays under the default gate.
+  const json::Value mild = json::Value::parse("{\"anneal_ms\": 120.0}");
+  EXPECT_TRUE(
+      diff_benchmarks(json::Value::parse("{\"anneal_ms\": 100.0}"), mild)
+          .pass());
+}
+
+TEST(BenchDiff, SpeedupDropFailsAndSpeedupGainPasses) {
+  const json::Value baseline =
+      json::Value::parse("{\"pool_speedup\": 4.0}");
+  EXPECT_FALSE(
+      diff_benchmarks(baseline, json::Value::parse("{\"pool_speedup\": 2.0}"))
+          .pass());
+  EXPECT_TRUE(
+      diff_benchmarks(baseline, json::Value::parse("{\"pool_speedup\": 8.0}"))
+          .pass());
+}
+
+TEST(BenchDiff, NoiseFloorSkipsTinyTimings) {
+  // 0.2 ms → 0.9 ms is a 350% "regression" entirely inside the noise
+  // floor; the gate must skip it — visibly.
+  const BenchDiffReport report =
+      diff_benchmarks(json::Value::parse("{\"stage_ms\": 0.2}"),
+                      json::Value::parse("{\"stage_ms\": 0.9}"));
+  EXPECT_TRUE(report.pass());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_TRUE(report.deltas[0].skipped_small);
+  EXPECT_FALSE(report.deltas[0].regression);
+}
+
+TEST(BenchDiff, MissingMetricInFreshFailsTheGate) {
+  const BenchDiffReport report = diff_benchmarks(
+      json::Value::parse("{\"anneal_ms\": 100.0, \"gone_ms\": 50.0}"),
+      json::Value::parse("{\"anneal_ms\": 100.0, \"new_ms\": 9.0}"));
+  EXPECT_FALSE(report.pass());
+  ASSERT_EQ(report.missing_in_fresh.size(), 1u);
+  EXPECT_EQ(report.missing_in_fresh[0], "gone_ms");
+  ASSERT_EQ(report.missing_in_baseline.size(), 1u);
+  EXPECT_EQ(report.missing_in_baseline[0], "new_ms");
+}
+
+TEST(BenchDiff, InformationalDriftNeverFails) {
+  const BenchDiffReport report =
+      diff_benchmarks(json::Value::parse("{\"area_mean\": 100.0}"),
+                      json::Value::parse("{\"area_mean\": 900.0}"));
+  EXPECT_TRUE(report.pass());
+  EXPECT_EQ(report.deltas[0].direction, MetricDirection::kInformational);
+}
+
+TEST(BenchDiff, NestedArraysAndObjectsKeepTheirPaths) {
+  const json::Value baseline = json::Value::parse(
+      "{\"packing\": [{\"fast_ms\": 10.0}, {\"fast_ms\": 20.0}]}");
+  const json::Value fresh = json::Value::parse(
+      "{\"packing\": [{\"fast_ms\": 10.0}, {\"fast_ms\": 40.0}]}");
+  const BenchDiffReport report = diff_benchmarks(baseline, fresh);
+  EXPECT_FALSE(report.pass());
+  ASSERT_EQ(report.regressions(), 1u);
+  for (const MetricDelta& d : report.deltas)
+    if (d.regression) {
+      EXPECT_EQ(d.path, "packing[1].fast_ms");
+    }
+}
+
+TEST(BenchDiff, ReportJsonParsesAndCarriesTheVerdict) {
+  const BenchDiffReport report =
+      diff_benchmarks(json::Value::parse("{\"anneal_ms\": 100.0}"),
+                      json::Value::parse("{\"anneal_ms\": 200.0}"));
+  std::ostringstream os;
+  json::JsonWriter json(os);
+  write_diff_report(report, BenchDiffOptions{}, json);
+  const json::Value doc = json::Value::parse(os.str());
+  EXPECT_EQ(doc.find("schema")->as_string(), "wirepipe-bench-diff/1");
+  EXPECT_FALSE(doc.find("pass")->as_bool());
+  EXPECT_DOUBLE_EQ(doc.find("regressions")->as_double(), 1.0);
+}
+
+// ------------------------------------------------------------ stats scrape
+
+std::string unique_socket_path() {
+  static int counter = 0;
+  return "/tmp/wp_obs_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+svc::EvalServerOptions test_server_options() {
+  svc::EvalServerOptions options;
+  options.socket_path = unique_socket_path();
+  options.workers = 2;
+  options.oracle.use_env_persist = false;
+  options.oracle.use_env_trace_mode = false;
+  return options;
+}
+
+TEST(StatsScrape, LiveServerAnswersWithParsableStatsDocument) {
+  svc::EvalServer server(test_server_options());
+  server.start();
+
+  svc::EvalClient client;
+  client.connect(server.socket_path(), /*retries=*/10, /*retry_ms=*/50);
+  const std::string stats = client.stats_json();
+  const json::Value doc = json::Value::parse(stats);
+  EXPECT_EQ(doc.find("schema")->as_string(), "wirepipe-stats/1");
+  const json::Value* srv = doc.find("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_DOUBLE_EQ(srv->find("workers")->as_double(), 2.0);
+  // The scrape itself is a frame, so the server has seen at least one.
+  EXPECT_GE(srv->find("frames")->as_double(), 1.0);
+  ASSERT_NE(doc.find("golden_cache"), nullptr);
+  ASSERT_NE(doc.find("spec_cache"), nullptr);
+  // The full registry rides along (pool metrics are always registered by
+  // the server's own worker pool).
+  const json::Value* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->find("counters"), nullptr);
+
+  // The connection still evaluates after a scrape.
+  EXPECT_TRUE(client.ping());
+  client.close();
+  server.stop();
+}
+
+TEST(StatsScrape, ScrapeReflectsServedRequests) {
+  svc::EvalServer server(test_server_options());
+  server.start();
+
+  svc::EvalClient client;
+  client.connect(server.socket_path(), /*retries=*/10, /*retry_ms=*/50);
+  std::vector<eval::EvalRequest> requests;
+  for (int i = 0; i < 3; ++i) {
+    eval::FloorplanJob job;
+    job.topology.family = gen::TopologyFamily::kMesh;
+    job.topology.num_nodes = 9;
+    job.seed = 70 + static_cast<std::uint64_t>(i);
+    job.anneal.iterations = 12;
+    requests.emplace_back(std::move(job));
+  }
+  client.evaluate(requests);
+
+  const json::Value doc = json::Value::parse(client.stats_json());
+  EXPECT_DOUBLE_EQ(doc.find("server")->find("requests")->as_double(), 3.0);
+  client.close();
+  server.stop();
+}
+
+TEST(StatsScrape, PayloadCarryingScrapeCostsOneErrorFrameNotTheConnection) {
+  svc::EvalServer server(test_server_options());
+  server.start();
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, server.socket_path().c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  // A kStatsRequest must be empty; a payload is a malformed request.
+  svc::write_frame(fd, svc::FrameType::kStatsRequest, "unexpected");
+  auto reply = svc::read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, svc::FrameType::kError);
+  EXPECT_EQ(svc::decode_error(reply->payload).code,
+            eval::ErrorCode::kMalformedRequest);
+
+  // Same connection, well-formed scrape: still served.
+  svc::write_frame(fd, svc::FrameType::kStatsRequest, "");
+  auto good = svc::read_frame(fd);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->type, svc::FrameType::kStatsReply);
+  EXPECT_EQ(json::Value::parse(good->payload).find("schema")->as_string(),
+            "wirepipe-stats/1");
+
+  ::close(fd);
+  server.stop();
+  EXPECT_EQ(server.stats().dropped_connections, 0u);
+  EXPECT_GE(server.stats().error_frames, 1u);
+}
+
+TEST(StatsScrape, FrameCodecRoundTripsTheNewTypes) {
+  const std::string request =
+      svc::encode_frame(svc::FrameType::kStatsRequest, "");
+  const svc::Frame decoded_request =
+      svc::decode_frame(request.data(), request.size());
+  EXPECT_EQ(decoded_request.type, svc::FrameType::kStatsRequest);
+  EXPECT_TRUE(decoded_request.payload.empty());
+
+  const std::string reply_payload = "{\"schema\": \"wirepipe-stats/1\"}";
+  const std::string reply =
+      svc::encode_frame(svc::FrameType::kStatsReply, reply_payload);
+  const svc::Frame decoded_reply =
+      svc::decode_frame(reply.data(), reply.size());
+  EXPECT_EQ(decoded_reply.type, svc::FrameType::kStatsReply);
+  EXPECT_EQ(decoded_reply.payload, reply_payload);
+}
+
+}  // namespace
+}  // namespace wp::obs
