@@ -8,16 +8,29 @@
 
 #include "core/system.hpp"
 #include "stream/stream.hpp"
+#include "util/assert.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 double run(const wp::SystemSpec& spec, bool oracle,
            std::uint64_t golden_cycles) {
+  constexpr std::uint64_t kMaxCycles = 3000000;
   wp::ShellOptions shell;
   shell.use_oracle = oracle;
   wp::LidSystem lid = build_lid(spec, shell, false);
-  const std::uint64_t cycles = lid.run_until_halt(3000000, 0);
+  const std::uint64_t cycles = lid.run_until_halt(kMaxCycles, 0);
+  // Hitting the cap without the sink halting used to fall through and
+  // report golden_cycles / kMaxCycles as if it were a throughput — a
+  // silently wrong number. A truncated run is a failure, not a data point.
+  bool halted = false;
+  for (const auto& [name, node] : lid.shells) {
+    (void)name;
+    halted = halted || node->halted();
+  }
+  WP_CHECK(halted,
+           "bench_stream: cycle cap reached before the sink halted — the "
+           "measured ratio would be meaningless");
   return static_cast<double>(golden_cycles) / static_cast<double>(cycles);
 }
 

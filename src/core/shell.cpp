@@ -14,6 +14,7 @@ Shell::Shell(std::string name, std::unique_ptr<Process> process,
   WP_REQUIRE(process_ != nullptr, "shell requires a process");
   WP_REQUIRE(options_.fifo_capacity >= 1, "FIFO capacity must be >= 1");
   in_.resize(process_->inputs().size());
+  for (auto& input : in_) input.fifo.set_capacity(options_.fifo_capacity);
   initial_seed_.resize(in_.size(), kPoisonWord);
   out_.resize(process_->outputs().size());
   avail_.resize(in_.size());
@@ -100,7 +101,7 @@ void Shell::commit(Cycle cycle) {
   //    the oracle in an earlier firing and arrived before it completed).
   for (auto& input : in_) {
     while (!input.fifo.empty() && input.fifo.front().tag < firing_counter_) {
-      input.fifo.erase(input.fifo.begin());
+      input.fifo.pop_front();
       ++stats_.discarded_tokens;
     }
   }
@@ -153,7 +154,7 @@ void Shell::try_fire(Cycle cycle) {
                      !options_.poison_unrequired)
                         ? in_[i].fifo.front().value
                         : kPoisonWord;
-      in_[i].fifo.erase(in_[i].fifo.begin());  // tag consumed (or dead)
+      in_[i].fifo.pop_front();  // tag consumed (or dead)
     } else {
       WP_CHECK(!is_required, "firing without a required input");
       fire_in_[i] = kPoisonWord;  // will arrive later; discarded on arrival

@@ -28,6 +28,7 @@
 
 #include "core/node.hpp"
 #include "core/process.hpp"
+#include "core/token_ring.hpp"
 #include "core/wire.hpp"
 
 namespace wp {
@@ -88,9 +89,9 @@ class Shell final : public Node {
  private:
   struct InputState {
     Wire* wire = nullptr;
-    std::vector<TaggedToken> fifo;  // FIFO, front at index 0 (small depths)
-    Tag received = 0;               // tags handed out so far on this channel
-    bool stop_driven = false;       // what we drove on the stop line
+    TokenRing fifo;            // preallocated ring: no allocation per token
+    Tag received = 0;          // tags handed out so far on this channel
+    bool stop_driven = false;  // what we drove on the stop line
   };
   struct OutputState {
     std::vector<Wire*> wires;

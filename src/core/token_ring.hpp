@@ -1,0 +1,73 @@
+// Fixed-capacity ring of tagged tokens — the shells' input FIFO.
+//
+// The original implementation was a std::vector with erase(begin()) on
+// every consumed token: each handoff between shell stages paid an O(depth)
+// memmove, and the vector's growth path put heap allocation on the token
+// path. Under the streaming harness (millions of tokens through a
+// multi-stage graph) that allocation rate is the difference between a
+// steady-state pipeline and a GC-like churn. The ring allocates its
+// storage once, at capacity, when the shell is built; push/pop are index
+// arithmetic, and a token is never moved after it is written — the
+// zero-copy handoff the heavy-traffic harness measures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/token.hpp"
+#include "util/assert.hpp"
+
+namespace wp {
+
+class TokenRing {
+ public:
+  TokenRing() = default;
+
+  /// Allocates storage for exactly `capacity` tokens (the shell's FIFO
+  /// bound). Called once at build time; clears any content.
+  void set_capacity(std::size_t capacity) {
+    WP_REQUIRE(capacity >= 1, "token ring capacity must be >= 1");
+    buffer_.assign(capacity, TaggedToken{});
+    head_ = 0;
+    size_ = 0;
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buffer_.size(); }
+
+  const TaggedToken& front() const {
+    WP_CHECK(size_ > 0, "front() on an empty token ring");
+    return buffer_[head_];
+  }
+
+  void push_back(const TaggedToken& token) {
+    WP_CHECK(size_ < buffer_.size(), "token ring overflow");
+    buffer_[index_of(size_)] = token;
+    ++size_;
+  }
+
+  void pop_front() {
+    WP_CHECK(size_ > 0, "pop_front() on an empty token ring");
+    head_ = head_ + 1 == buffer_.size() ? 0 : head_ + 1;
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t index_of(std::size_t offset) const {
+    const std::size_t i = head_ + offset;
+    return i >= buffer_.size() ? i - buffer_.size() : i;
+  }
+
+  std::vector<TaggedToken> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wp

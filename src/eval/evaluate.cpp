@@ -40,6 +40,7 @@ KindMetrics& kind_metrics(RequestKind kind) {
   static KindMetrics throughput = make(RequestKind::kWp2Throughput);
   static KindMetrics floorplan = make(RequestKind::kFloorplanAnneal);
   static KindMetrics sample = make(RequestKind::kEnsembleSample);
+  static KindMetrics stream_run = make(RequestKind::kStreamRun);
   switch (kind) {
     case RequestKind::kExperiment:
       return experiment;
@@ -49,6 +50,8 @@ KindMetrics& kind_metrics(RequestKind kind) {
       return floorplan;
     case RequestKind::kEnsembleSample:
       return sample;
+    case RequestKind::kStreamRun:
+      return stream_run;
   }
   return experiment;  // unknown kinds fail below; attribute arbitrarily
 }
@@ -117,6 +120,35 @@ EvalReply eval_sample(const gen::SampleJob& job, sim::GoldenCache* cache) {
   return reply;
 }
 
+// A stream run served remotely: force stats-only sinks (the reply carries
+// digests and counts, never samples — see StreamJob), run the harness, and
+// project the deterministic core of the HarnessResult into the reply. The
+// harness flushes its counters into the obs registry, so a daemon serving
+// stream runs exposes stream/* through its stats scrape for free.
+EvalReply eval_stream(const StreamJob& job) {
+  stream::StreamGraphConfig config = job.graph;
+  config.sink.keep_samples = false;
+  config.sink.tail_window = 0;
+
+  stream::HarnessOptions options;
+  options.mode = job.mode;
+  options.fifo_capacity = static_cast<std::size_t>(job.fifo_capacity);
+  const stream::HarnessResult run = stream::run_stream_graph(config, options);
+
+  EvalReply reply;
+  reply.kind = ReplyKind::kStream;
+  reply.stream.tokens = run.tokens;
+  reply.stream.cycles = run.cycles;
+  reply.stream.digest = run.digest;
+  reply.stream.sink_digests = run.sink_digests;
+  reply.stream.sink_counts = run.sink_counts;
+  reply.stream.input_stalls = run.input_stalls;
+  reply.stream.output_stalls = run.output_stalls;
+  reply.stream.discarded_tokens = run.discarded_tokens;
+  reply.stream.tokens_per_sec = run.tokens_per_sec;
+  return reply;
+}
+
 [[noreturn]] void unwrap_fail(const EvalReply& reply, ReplyKind wanted) {
   if (reply.kind == ReplyKind::kError)
     WP_CHECK(false, "evaluation failed: " + reply.error.message);
@@ -148,6 +180,8 @@ EvalReply evaluate(const EvalRequest& request, const EvalContext& context) {
         return eval_floorplan(request.floorplan);
       case RequestKind::kEnsembleSample:
         return eval_sample(request.sample, netlist_cache);
+      case RequestKind::kStreamRun:
+        return eval_stream(request.stream);
     }
     return EvalReply::make_error(
         ErrorCode::kMalformedRequest,
@@ -196,6 +230,11 @@ const gen::SampleResult& unwrap_sample(const EvalReply& reply) {
   if (reply.kind != ReplyKind::kSample)
     unwrap_fail(reply, ReplyKind::kSample);
   return reply.sample;
+}
+
+const StreamResult& unwrap_stream(const EvalReply& reply) {
+  if (reply.kind != ReplyKind::kStream) unwrap_fail(reply, ReplyKind::kStream);
+  return reply.stream;
 }
 
 }  // namespace wp::eval

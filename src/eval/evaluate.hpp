@@ -53,5 +53,6 @@ const proc::ExperimentRow& unwrap_row(const EvalReply& reply);
 double unwrap_throughput(const EvalReply& reply);
 const FloorplanResult& unwrap_floorplan(const EvalReply& reply);
 const gen::SampleResult& unwrap_sample(const EvalReply& reply);
+const StreamResult& unwrap_stream(const EvalReply& reply);
 
 }  // namespace wp::eval

@@ -308,6 +308,48 @@ gen::SampleJob decode_sample_job(Reader& r) {
   return job;
 }
 
+void encode_stream_job(Writer& w, const StreamJob& job) {
+  const stream::StreamGraphConfig& g = job.graph;
+  w.u64(g.tokens);
+  w.u64(g.fir_stages);
+  w.u64(g.branches);
+  w.u64(g.agc_period);
+  w.u64(g.gain_period);
+  w.f64(g.agc_target);
+  w.u64(g.seed);
+  w.u32(static_cast<std::uint32_t>(g.fir.size()));
+  for (const double tap : g.fir) w.f64(tap);
+  w.i64(g.feedback_rs);
+  w.i64(g.forward_rs);
+  // g.sink is intentionally not encoded: the evaluator always runs
+  // stats-only sinks (see StreamJob doc).
+  w.u8(static_cast<std::uint8_t>(job.mode));
+  w.u64(job.fifo_capacity);
+}
+
+StreamJob decode_stream_job(Reader& r) {
+  StreamJob job;
+  stream::StreamGraphConfig& g = job.graph;
+  g.tokens = r.u64();
+  g.fir_stages = static_cast<std::size_t>(r.u64());
+  g.branches = static_cast<std::size_t>(r.u64());
+  g.agc_period = r.u64();
+  g.gain_period = r.u64();
+  g.agc_target = r.f64();
+  g.seed = r.u64();
+  g.fir.clear();
+  const std::uint32_t taps = r.u32();
+  for (std::uint32_t i = 0; i < taps; ++i) g.fir.push_back(r.f64());
+  g.feedback_rs = static_cast<int>(r.i64());
+  g.forward_rs = static_cast<int>(r.i64());
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(stream::RunMode::kWp2))
+    throw WireError("unknown stream run-mode tag " + std::to_string(mode));
+  job.mode = static_cast<stream::RunMode>(mode);
+  job.fifo_capacity = r.u64();
+  return job;
+}
+
 void encode_request_body(Writer& w, const EvalRequest& request,
                          bool for_hash) {
   w.u8(kEvalVersion);
@@ -324,6 +366,9 @@ void encode_request_body(Writer& w, const EvalRequest& request,
       return;
     case RequestKind::kEnsembleSample:
       encode_sample_job(w, request.sample);
+      return;
+    case RequestKind::kStreamRun:
+      encode_stream_job(w, request.stream);
       return;
   }
   throw WireError("unknown request kind");
@@ -435,6 +480,39 @@ gen::SampleResult decode_sample_result(Reader& r) {
   return s;
 }
 
+void encode_stream_result(Writer& w, const StreamResult& s) {
+  w.u64(s.tokens);
+  w.u64(s.cycles);
+  w.u64(s.digest);
+  w.u32(static_cast<std::uint32_t>(s.sink_digests.size()));
+  for (const std::uint64_t digest : s.sink_digests) w.u64(digest);
+  w.u32(static_cast<std::uint32_t>(s.sink_counts.size()));
+  for (const std::uint64_t count : s.sink_counts) w.u64(count);
+  w.u64(s.input_stalls);
+  w.u64(s.output_stalls);
+  w.u64(s.discarded_tokens);
+  // Wall-clock throughput rides along for worker-side reporting; it stays
+  // excluded from StreamResult::operator==.
+  w.f64(s.tokens_per_sec);
+}
+
+StreamResult decode_stream_result(Reader& r) {
+  StreamResult s;
+  s.tokens = r.u64();
+  s.cycles = r.u64();
+  s.digest = r.u64();
+  const std::uint32_t digests = r.u32();
+  for (std::uint32_t i = 0; i < digests; ++i)
+    s.sink_digests.push_back(r.u64());
+  const std::uint32_t counts = r.u32();
+  for (std::uint32_t i = 0; i < counts; ++i) s.sink_counts.push_back(r.u64());
+  s.input_stalls = r.u64();
+  s.output_stalls = r.u64();
+  s.discarded_tokens = r.u64();
+  s.tokens_per_sec = r.f64();
+  return s;
+}
+
 }  // namespace
 
 const char* request_kind_name(RequestKind kind) {
@@ -443,6 +521,7 @@ const char* request_kind_name(RequestKind kind) {
     case RequestKind::kWp2Throughput: return "wp2-throughput";
     case RequestKind::kFloorplanAnneal: return "floorplan-anneal";
     case RequestKind::kEnsembleSample: return "ensemble-sample";
+    case RequestKind::kStreamRun: return "stream-run";
   }
   return "unknown";
 }
@@ -543,6 +622,9 @@ EvalRequest::EvalRequest(FloorplanJob job)
 EvalRequest::EvalRequest(gen::SampleJob job)
     : kind(RequestKind::kEnsembleSample), sample(std::move(job)) {}
 
+EvalRequest::EvalRequest(StreamJob job)
+    : kind(RequestKind::kStreamRun), stream(std::move(job)) {}
+
 std::uint64_t EvalRequest::content_hash() const {
   Writer w;
   encode_request_body(w, *this, /*for_hash=*/true);
@@ -577,6 +659,10 @@ EvalRequest EvalRequest::decode(Reader& r) {
       request.kind = RequestKind::kEnsembleSample;
       request.sample = decode_sample_job(r);
       return request;
+    case RequestKind::kStreamRun:
+      request.kind = RequestKind::kStreamRun;
+      request.stream = decode_stream_job(r);
+      return request;
   }
   throw WireError("unknown request kind tag " + std::to_string(kind));
 }
@@ -591,6 +677,15 @@ bool FloorplanResult::operator==(const FloorplanResult& other) const {
          evaluations == other.evaluations &&
          engine_incremental == other.engine_incremental &&
          engine_fallbacks == other.engine_fallbacks;
+}
+
+bool StreamResult::operator==(const StreamResult& other) const {
+  return tokens == other.tokens && cycles == other.cycles &&
+         digest == other.digest && sink_digests == other.sink_digests &&
+         sink_counts == other.sink_counts &&
+         input_stalls == other.input_stalls &&
+         output_stalls == other.output_stalls &&
+         discarded_tokens == other.discarded_tokens;
 }
 
 EvalReply EvalReply::make_error(ErrorCode code, std::string message) {
@@ -620,6 +715,9 @@ void EvalReply::encode(Writer& w) const {
       return;
     case ReplyKind::kSample:
       encode_sample_result(w, sample);
+      return;
+    case ReplyKind::kStream:
+      encode_stream_result(w, stream);
       return;
   }
   throw WireError("unknown reply kind");
@@ -657,6 +755,10 @@ EvalReply EvalReply::decode(Reader& r) {
     case ReplyKind::kSample:
       reply.kind = ReplyKind::kSample;
       reply.sample = decode_sample_result(r);
+      return reply;
+    case ReplyKind::kStream:
+      reply.kind = ReplyKind::kStream;
+      reply.stream = decode_stream_result(r);
       return reply;
   }
   throw WireError("unknown reply kind tag " + std::to_string(kind));

@@ -33,6 +33,7 @@
 
 #include "gen/ensemble.hpp"
 #include "proc/experiment.hpp"
+#include "stream/harness.hpp"
 #include "util/wire.hpp"
 
 namespace wp::eval {
@@ -46,6 +47,7 @@ enum class RequestKind : std::uint8_t {
   kWp2Throughput = 2,   ///< optimizer objective → double
   kFloorplanAnneal = 3, ///< generate+dress+anneal → FloorplanResult
   kEnsembleSample = 4,  ///< full pipeline sample → gen::SampleResult
+  kStreamRun = 5,       ///< stream-graph harness run → StreamResult
 };
 
 const char* request_kind_name(RequestKind kind);
@@ -126,6 +128,19 @@ struct FloorplanJob {
 // The ensemble-sample payload is gen::SampleJob itself — the unit of work
 // run_ensemble executes in process.
 
+/// A stream-graph harness run served remotely: the daemon builds the graph
+/// from `graph` and executes stream::run_stream_graph in `mode`. The
+/// evaluator always forces stats-only sinks (the graph's SinkOptions never
+/// cross the wire — a remote keep-all sink would buffer millions of words
+/// in the daemon to no observable effect, since the reply carries digests
+/// and counts, not samples). Determinism of the harness makes the remote
+/// digest byte-for-byte comparable with an in-process run.
+struct StreamJob {
+  stream::StreamGraphConfig graph;
+  stream::RunMode mode = stream::RunMode::kWp2;
+  std::uint64_t fifo_capacity = 16;
+};
+
 // -------------------------------------------------------------- requests
 
 struct EvalRequest {
@@ -136,12 +151,14 @@ struct EvalRequest {
   ThroughputJob throughput;
   FloorplanJob floorplan;
   gen::SampleJob sample;
+  StreamJob stream;
 
   EvalRequest() = default;
   explicit EvalRequest(ExperimentJob job);
   explicit EvalRequest(ThroughputJob job);
   explicit EvalRequest(FloorplanJob job);
   explicit EvalRequest(gen::SampleJob job);
+  explicit EvalRequest(StreamJob job);
 
   /// Stable content digest of the canonical encoding — the cache/shard
   /// key. Inline programs hash their name/source/ram (the verify closure
@@ -163,6 +180,7 @@ enum class ReplyKind : std::uint8_t {
   kThroughput = 2,
   kFloorplan = 3,
   kSample = 4,
+  kStream = 5,
 };
 
 /// Typed error codes carried by kError replies (and by protocol-level
@@ -198,6 +216,23 @@ struct FloorplanResult {
   bool operator==(const FloorplanResult& other) const;
 };
 
+/// Reply of a kStreamRun request: the deterministic core of a
+/// HarnessResult. tokens_per_sec rides along for worker-side reporting but
+/// is excluded from operator== (wall clock is not part of the contract).
+struct StreamResult {
+  std::uint64_t tokens = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t digest = 0;
+  std::vector<std::uint64_t> sink_digests;
+  std::vector<std::uint64_t> sink_counts;
+  std::uint64_t input_stalls = 0;
+  std::uint64_t output_stalls = 0;
+  std::uint64_t discarded_tokens = 0;
+  double tokens_per_sec = 0.0;
+
+  bool operator==(const StreamResult& other) const;
+};
+
 struct EvalReply {
   ReplyKind kind = ReplyKind::kError;
   EvalError error;               ///< kError
@@ -205,6 +240,7 @@ struct EvalReply {
   double throughput = 0.0;       ///< kThroughput
   FloorplanResult floorplan;     ///< kFloorplan
   gen::SampleResult sample;      ///< kSample
+  StreamResult stream;           ///< kStream
 
   bool ok() const { return kind != ReplyKind::kError; }
 

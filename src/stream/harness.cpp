@@ -1,0 +1,407 @@
+#include "stream/harness.hpp"
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace wp::stream {
+
+namespace {
+
+constexpr std::uint64_t kDigestSeed = 0xcbf29ce484222325ULL;  // FNV offset
+
+std::string fir_name(std::size_t branch, std::size_t stage) {
+  return "FIR" + std::to_string(branch) + "_" + std::to_string(stage);
+}
+std::string gain_name(std::size_t b) { return "GAIN" + std::to_string(b); }
+std::string qnt_name(std::size_t b) { return "QNT" + std::to_string(b); }
+std::string agc_name(std::size_t b) { return "AGC" + std::to_string(b); }
+std::string snk_name(std::size_t b) { return "SNK" + std::to_string(b); }
+
+StreamConfig as_stream_config(const StreamGraphConfig& config) {
+  StreamConfig sc;
+  sc.samples = config.tokens;
+  sc.agc_period = config.agc_period;
+  sc.gain_period = config.gain_period;
+  sc.agc_target = config.agc_target;
+  sc.seed = config.seed;
+  sc.fir = config.fir;
+  sc.sink = config.sink;
+  return sc;
+}
+
+/// Wraps a stage to time every fire() into a per-run histogram (exact for
+/// this run's StageLoad) and, optionally, the process-global registry
+/// histogram `stream/stage_fire_ns/<stage>` (cumulative, scrape-visible).
+class TimedProcess final : public Process {
+ public:
+  TimedProcess(std::unique_ptr<Process> inner,
+               std::shared_ptr<obs::Histogram> local,
+               obs::Histogram* registry)
+      : Process(inner->name()),
+        inner_(std::move(inner)),
+        local_(std::move(local)),
+        registry_(registry) {
+    for (const auto& port : inner_->inputs())
+      add_input(port.name, port.reset_value);
+    for (const auto& port : inner_->outputs())
+      add_output(port.name, port.reset_value);
+  }
+
+  InputMask required(const PeekView& peek) const override {
+    return inner_->required(peek);
+  }
+
+  void fire(const Word* in, Word* out) override {
+    const std::uint64_t start = obs::now_ns();
+    inner_->fire(in, out);
+    const std::uint64_t elapsed = obs::now_ns() - start;
+    local_->record(elapsed);
+    if (registry_ != nullptr) registry_->record(elapsed);
+  }
+
+  void reset() override { inner_->reset(); }
+  bool halted() const override { return inner_->halted(); }
+  const Process& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  std::shared_ptr<obs::Histogram> local_;
+  obs::Histogram* registry_;
+};
+
+/// Sees through the timing decorator (sinks are downcast to StreamSink).
+const Process& unwrap(const Process& process) {
+  if (const auto* timed = dynamic_cast<const TimedProcess*>(&process))
+    return timed->inner();
+  return process;
+}
+
+using StageWrap = std::function<std::unique_ptr<Process>(
+    std::unique_ptr<Process>)>;
+
+wp::SystemSpec build_graph(const StreamGraphConfig& config,
+                           const StageWrap& wrap) {
+  std::vector<Word> taps;
+  taps.reserve(config.fir.size());
+  for (double c : config.fir) taps.push_back(fix_from_double(c));
+  const std::uint64_t gain_period =
+      resolved_gain_period(as_stream_config(config));
+
+  wp::SystemSpec spec;
+  auto add = [&spec, &wrap](const std::string& name,
+                            std::function<std::unique_ptr<Process>()> make) {
+    if (wrap) {
+      spec.add_process(name, [make = std::move(make), wrap]() {
+        return wrap(make());
+      });
+    } else {
+      spec.add_process(name, std::move(make));
+    }
+  };
+
+  add("SRC", [config]() {
+    return std::make_unique<SampleSource>("SRC", config.seed, 0);
+  });
+  for (std::size_t b = 0; b < config.branches; ++b) {
+    for (std::size_t k = 0; k < config.fir_stages; ++k) {
+      const std::string name = fir_name(b, k);
+      add(name, [name, taps]() {
+        return std::make_unique<FirFilter>(name, taps);
+      });
+    }
+    const std::string gain = gain_name(b), qnt = qnt_name(b),
+                      agc = agc_name(b), snk = snk_name(b);
+    add(gain, [gain, gain_period]() {
+      return std::make_unique<GainStage>(gain, gain_period);
+    });
+    add(qnt, [qnt]() { return std::make_unique<Quantizer>(qnt); });
+    add(agc, [agc, config]() {
+      return std::make_unique<AgcControl>(agc, config.agc_period,
+                                          config.agc_target);
+    });
+    add(snk, [snk, config]() {
+      return std::make_unique<StreamSink>(snk, config.tokens, config.sink);
+    });
+
+    spec.add_channel("SRC", "out", fir_name(b, 0), "in");
+    for (std::size_t k = 0; k + 1 < config.fir_stages; ++k)
+      spec.add_channel(fir_name(b, k), "out", fir_name(b, k + 1), "in");
+    spec.add_channel(fir_name(b, config.fir_stages - 1), "out", gain,
+                     "sample");
+    spec.add_channel(gain, "out", qnt, "in");
+    spec.add_channel(qnt, "out", snk, "in");
+    spec.add_channel(qnt, "mag", agc, "mag");
+    spec.add_channel(agc, "gain", gain, "gain");
+
+    // Forward relay stations on the acyclic path only — the GAIN→QNT→AGC
+    // links are inside the feedback loop, where extra stations would move
+    // the K/(K+n) bound the harness certifies.
+    if (config.forward_rs > 0) {
+      spec.set_connection_rs("SRC-" + fir_name(b, 0), config.forward_rs);
+      for (std::size_t k = 0; k + 1 < config.fir_stages; ++k)
+        spec.set_connection_rs(fir_name(b, k) + "-" + fir_name(b, k + 1),
+                               config.forward_rs);
+      spec.set_connection_rs(fir_name(b, config.fir_stages - 1) + "-" + gain,
+                             config.forward_rs);
+      spec.set_connection_rs(qnt + "-" + snk, config.forward_rs);
+    }
+    if (config.feedback_rs > 0)
+      spec.set_connection_rs(agc + "-" + gain, config.feedback_rs);
+  }
+  return spec;
+}
+
+/// Generous cycle budget: worst case is WP1 paying the full loop latency
+/// (3 + feedback_rs)/3 cycles per token, plus pipeline fill, doubled.
+std::uint64_t default_max_cycles(const StreamGraphConfig& config) {
+  const std::uint64_t per_token =
+      2 + (static_cast<std::uint64_t>(config.feedback_rs) + 2) / 3;
+  const std::uint64_t fill =
+      4 * (config.fir_stages + 4) *
+      (static_cast<std::uint64_t>(config.forward_rs) + 4);
+  return 4096 + fill + 2 * config.tokens * per_token;
+}
+
+struct StageTimers {
+  std::vector<std::shared_ptr<obs::Histogram>> local;  // by stage index
+};
+
+void fill_latency(StageLoad& load, const obs::Histogram& histogram) {
+  load.fire_count = histogram.count();
+  load.fire_p50_ns = histogram.percentile(50);
+  load.fire_p99_ns = histogram.percentile(99);
+  load.fire_mean_ns = histogram.mean();
+}
+
+void flush_metrics(const HarnessResult& result) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("stream/runs").inc();
+  registry.counter("stream/tokens/processed").add(result.tokens);
+  registry.counter("stream/tokens/discarded").add(result.discarded_tokens);
+  registry.counter("stream/cycles").add(result.cycles);
+  registry.counter("stream/backpressure/input_stalls")
+      .add(result.input_stalls);
+  registry.counter("stream/backpressure/output_stalls")
+      .add(result.output_stalls);
+  registry.gauge("stream/last_run/tokens_per_sec")
+      .set(static_cast<std::int64_t>(result.tokens_per_sec));
+  for (const StageLoad& stage : result.stages) {
+    registry.counter("stream/stage/" + stage.name + "/firings")
+        .add(stage.firings);
+    registry.counter("stream/stage/" + stage.name + "/input_stalls")
+        .add(stage.input_stalls);
+    registry.counter("stream/stage/" + stage.name + "/output_stalls")
+        .add(stage.output_stalls);
+  }
+}
+
+}  // namespace
+
+std::size_t stage_count(const StreamGraphConfig& config) {
+  return 1 + config.branches * (config.fir_stages + 4);
+}
+
+std::vector<std::string> stage_names(const StreamGraphConfig& config) {
+  std::vector<std::string> names;
+  names.reserve(stage_count(config));
+  names.push_back("SRC");
+  for (std::size_t b = 0; b < config.branches; ++b) {
+    for (std::size_t k = 0; k < config.fir_stages; ++k)
+      names.push_back(fir_name(b, k));
+    names.push_back(gain_name(b));
+    names.push_back(qnt_name(b));
+    names.push_back(agc_name(b));
+    names.push_back(snk_name(b));
+  }
+  return names;
+}
+
+std::vector<std::string> sink_names(const StreamGraphConfig& config) {
+  std::vector<std::string> names;
+  names.reserve(config.branches);
+  for (std::size_t b = 0; b < config.branches; ++b)
+    names.push_back(snk_name(b));
+  return names;
+}
+
+void validate_graph_config(const StreamGraphConfig& config) {
+  WP_REQUIRE(config.tokens >= 1, "stream graph needs tokens >= 1");
+  WP_REQUIRE(config.fir_stages >= 1 && config.fir_stages <= 256,
+             "fir_stages must be in [1, 256]");
+  WP_REQUIRE(config.branches >= 1 && config.branches <= 256,
+             "branches must be in [1, 256]");
+  WP_REQUIRE(config.feedback_rs >= 0 && config.forward_rs >= 0,
+             "relay station counts must be non-negative");
+  validate_stream_config(as_stream_config(config));
+}
+
+wp::SystemSpec make_stream_graph(const StreamGraphConfig& config) {
+  validate_graph_config(config);
+  return build_graph(config, StageWrap{});
+}
+
+const char* run_mode_name(RunMode mode) {
+  switch (mode) {
+    case RunMode::kGolden: return "golden";
+    case RunMode::kWp1: return "wp1";
+    case RunMode::kWp2: return "wp2";
+  }
+  return "unknown";
+}
+
+HarnessResult run_stream_graph(const StreamGraphConfig& config,
+                               const HarnessOptions& options) {
+  WP_SPAN("stream/run_graph");
+  validate_graph_config(config);
+  WP_REQUIRE(options.fifo_capacity >= 1, "FIFO capacity must be >= 1");
+
+  const std::vector<std::string> names = stage_names(config);
+  const std::vector<std::string> sinks = sink_names(config);
+  const std::uint64_t max_cycles =
+      options.max_cycles != 0 ? options.max_cycles
+                              : default_max_cycles(config);
+
+  // Per-run latency histograms (exact for this run's StageLoad) and, when
+  // recording, the cumulative registry ones a daemon scrape exposes.
+  StageTimers timers;
+  StageWrap wrap;
+  if (options.time_stages) {
+    timers.local.reserve(names.size());
+    std::vector<obs::Histogram*> registry_hists;
+    for (const std::string& name : names) {
+      timers.local.push_back(std::make_shared<obs::Histogram>());
+      registry_hists.push_back(
+          options.record_metrics
+              ? &obs::Registry::global().histogram("stream/stage_fire_ns/" +
+                                                   name)
+              : nullptr);
+    }
+    // Stage index by construction order: build_graph adds processes in
+    // exactly stage_names order, so a counter suffices.
+    auto next = std::make_shared<std::size_t>(0);
+    auto local = timers.local;
+    wrap = [next, local, registry_hists](std::unique_ptr<Process> inner)
+        -> std::unique_ptr<Process> {
+      const std::size_t i = (*next)++ % local.size();
+      return std::make_unique<TimedProcess>(std::move(inner), local[i],
+                                            registry_hists[i]);
+    };
+  }
+
+  const wp::SystemSpec spec = build_graph(config, wrap);
+
+  HarnessResult result;
+  result.mode = options.mode;
+  result.sink_digests.reserve(sinks.size());
+  result.sink_counts.reserve(sinks.size());
+
+  const std::uint64_t wall_start = obs::now_ns();
+
+  if (options.mode == RunMode::kGolden) {
+    GoldenSim golden(spec, false);
+    result.cycles = golden.run_until_halt(max_cycles);
+    WP_ENSURE(golden.halted(),
+              "stream harness exhausted its cycle budget before the sinks "
+              "halted — raise max_cycles; refusing to report a truncated "
+              "run");
+    for (const std::string& name : names) {
+      StageLoad load;
+      load.name = name;
+      load.firings = result.cycles;  // golden: every stage, every cycle
+      result.stages.push_back(std::move(load));
+    }
+    for (const std::string& name : sinks) {
+      const auto& sink =
+          dynamic_cast<const StreamSink&>(unwrap(golden.process(name)));
+      WP_ENSURE(sink.count() >= config.tokens,
+                "golden sink halted short of its token limit");
+      result.sink_digests.push_back(sink.digest());
+      result.sink_counts.push_back(sink.count());
+    }
+  } else {
+    ShellOptions shell;
+    shell.use_oracle = options.mode == RunMode::kWp2;
+    shell.fifo_capacity = options.fifo_capacity;
+    LidSystem lid = build_lid(spec, shell, false);
+
+    std::vector<Shell*> sink_shells;
+    sink_shells.reserve(sinks.size());
+    for (const std::string& name : sinks)
+      sink_shells.push_back(lid.shells.at(name));
+
+    std::uint64_t last_firings = 0;
+    lid.network->arm_watchdog(
+        [&lid, &last_firings]() {
+          const std::uint64_t now = lid.total_firings();
+          const bool progressed = now != last_firings;
+          last_firings = now;
+          return progressed;
+        },
+        /*window=*/100000);
+    // Run until EVERY sink halted (run_until_halt stops at the first),
+    // so each branch holds exactly `tokens` samples and digests compare.
+    result.cycles = lid.network->run(max_cycles, [&sink_shells]() {
+      for (const Shell* sink : sink_shells)
+        if (!sink->halted()) return false;
+      return true;
+    });
+    bool all_halted = true;
+    for (const Shell* sink : sink_shells)
+      all_halted = all_halted && sink->halted();
+    WP_ENSURE(all_halted,
+              "stream harness exhausted its cycle budget before every sink "
+              "halted — raise max_cycles; refusing to report a truncated "
+              "run");
+
+    for (const std::string& name : names) {
+      const Shell* shell_node = lid.shells.at(name);
+      const ShellStats& stats = shell_node->stats();
+      StageLoad load;
+      load.name = name;
+      load.firings = stats.firings;
+      load.input_stalls = stats.stalls_input;
+      load.output_stalls = stats.stalls_output;
+      load.discarded_tokens = stats.discarded_tokens;
+      result.input_stalls += stats.stalls_input;
+      result.output_stalls += stats.stalls_output;
+      result.discarded_tokens += stats.discarded_tokens;
+      result.stages.push_back(std::move(load));
+    }
+    for (Shell* sink_shell : sink_shells) {
+      const auto& sink =
+          dynamic_cast<const StreamSink&>(unwrap(sink_shell->process()));
+      WP_ENSURE(sink.count() == config.tokens,
+                "sink halted with an unexpected sample count");
+      result.sink_digests.push_back(sink.digest());
+      result.sink_counts.push_back(sink.count());
+    }
+  }
+
+  const std::uint64_t wall_ns = obs::now_ns() - wall_start;
+  for (const std::uint64_t count : result.sink_counts)
+    result.tokens += count;
+  result.digest = kDigestSeed;
+  for (const std::uint64_t digest : result.sink_digests)
+    result.digest = hash_combine(result.digest, digest);
+  result.wall_ms = static_cast<double>(wall_ns) / 1e6;
+  result.tokens_per_sec =
+      wall_ns == 0 ? 0.0
+                   : static_cast<double>(result.tokens) * 1e9 /
+                         static_cast<double>(wall_ns);
+
+  if (options.time_stages) {
+    for (std::size_t i = 0; i < result.stages.size() && i < timers.local.size();
+         ++i)
+      fill_latency(result.stages[i], *timers.local[i]);
+  }
+  if (options.record_metrics) flush_metrics(result);
+  return result;
+}
+
+}  // namespace wp::stream

@@ -5,6 +5,7 @@
 
 #include "core/procs.hpp"
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 
 namespace wp::stream {
 
@@ -13,6 +14,7 @@ namespace {
 constexpr std::size_t kGainInSample = 0;
 constexpr std::size_t kGainInGain = 1;
 constexpr Word kFreshBit = Word{1} << 63;
+constexpr std::uint64_t kDigestSeed = 0xcbf29ce484222325ULL;  // FNV offset
 
 std::int32_t as_signed(Word w) {
   return static_cast<std::int32_t>(static_cast<std::uint32_t>(w));
@@ -28,6 +30,14 @@ Word as_word(std::int64_t v) {
 }  // namespace
 
 Word fix_from_double(double x) {
+  // std::lround on NaN or a value outside long's range is undefined
+  // behaviour; reject both before the conversion. The representable 16.16
+  // range is [-32768, 32768) — anything outside it is a configuration bug
+  // (a FIR tap or AGC target that cannot mean what it says), not a value
+  // to clamp silently.
+  WP_REQUIRE(std::isfinite(x), "fix_from_double: input must be finite");
+  WP_REQUIRE(x >= -32768.0 && x < 32768.0,
+             "fix_from_double: input outside the 16.16 range [-32768, 32768)");
   return as_word(static_cast<std::int64_t>(
       std::lround(x * static_cast<double>(kFixOne))));
 }
@@ -115,7 +125,9 @@ void GainStage::fire(const Word* in, Word* out) {
   if (reads_gain()) {
     const Word token = in[kGainInGain];
     WP_CHECK(AgcControl::fresh(token),
-             "gain cadence mismatch between AGC and gain stage");
+             "gain cadence mismatch between AGC and gain stage (GainStage "
+             "and AgcControl periods differ — validate_stream_config at "
+             "spec-build time catches this)");
     gain_ = token & ~kFreshBit;
   }
   out[0] = fix_mul(in[kGainInSample], gain_);
@@ -188,24 +200,96 @@ void AgcControl::reset() {
 
 // ---------------------------------------------------------------------------
 
-StreamSink::StreamSink(std::string name, std::uint64_t limit)
-    : Process(std::move(name)), limit_(limit) {
+StreamSink::StreamSink(std::string name, std::uint64_t limit,
+                       SinkOptions options)
+    : Process(std::move(name)),
+      options_(options),
+      limit_(limit),
+      digest_(kDigestSeed) {
   add_input("in", 0);
+  if (options_.keep_samples) {
+    // The halt limit bounds the retention exactly; reserving up front
+    // keeps vector growth off the token path.
+    if (limit_ > 0) samples_.reserve(static_cast<std::size_t>(limit_));
+  } else if (options_.tail_window > 0) {
+    tail_.assign(options_.tail_window, 0);
+  }
 }
 
 void StreamSink::fire(const Word* in, Word* /*out*/) {
-  samples_.push_back(in[0]);
+  const Word sample = in[0];
+  ++count_;
+  digest_ = hash_combine(digest_, sample);
+  value_stats_.add(fix_to_double(sample));
+  if (options_.keep_samples) {
+    samples_.push_back(sample);
+  } else if (options_.tail_window > 0) {
+    tail_[tail_pos_] = sample;
+    tail_pos_ = tail_pos_ + 1 == tail_.size() ? 0 : tail_pos_ + 1;
+  }
 }
 
-void StreamSink::reset() { samples_.clear(); }
+void StreamSink::reset() {
+  count_ = 0;
+  digest_ = kDigestSeed;
+  value_stats_ = RunningStats{};
+  samples_.clear();
+  tail_pos_ = 0;
+  if (!options_.keep_samples && options_.tail_window > 0)
+    tail_.assign(options_.tail_window, 0);
+}
 
 bool StreamSink::halted() const {
-  return limit_ != 0 && samples_.size() >= limit_;
+  return limit_ != 0 && count_ >= limit_;
+}
+
+const std::vector<Word>& StreamSink::samples() const {
+  WP_REQUIRE(options_.keep_samples,
+             "StreamSink::samples() requires keep_samples mode; stats-only "
+             "sinks expose count()/digest()/tail()");
+  return samples_;
+}
+
+std::vector<Word> StreamSink::tail() const {
+  if (options_.keep_samples) {
+    const std::size_t n =
+        std::min<std::size_t>(options_.tail_window, samples_.size());
+    return {samples_.end() - static_cast<std::ptrdiff_t>(n), samples_.end()};
+  }
+  const std::size_t n = std::min<std::uint64_t>(tail_.size(), count_);
+  std::vector<Word> out;
+  out.reserve(n);
+  // tail_pos_ is the oldest retained slot once the ring has wrapped.
+  const std::size_t start = count_ >= tail_.size() ? tail_pos_ : 0;
+  for (std::size_t k = 0; k < n; ++k)
+    out.push_back(tail_[(start + k) % tail_.size()]);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
 
+std::uint64_t resolved_gain_period(const StreamConfig& config) {
+  return config.gain_period == 0 ? config.agc_period : config.gain_period;
+}
+
+void validate_stream_config(const StreamConfig& config) {
+  WP_REQUIRE(config.agc_period >= 1, "AGC period must be >= 1");
+  WP_REQUIRE(resolved_gain_period(config) == config.agc_period,
+             "gain cadence mismatch: gain_period must equal agc_period (the "
+             "GainStage oracle and the AgcControl fresh-token cadence are "
+             "one contract) — a mismatched pair would die mid-simulation");
+  WP_REQUIRE(std::isfinite(config.agc_target) && config.agc_target > 0 &&
+                 config.agc_target < 32768.0,
+             "AGC target must be positive, finite and inside 16.16 range");
+  WP_REQUIRE(!config.fir.empty(), "FIR needs at least one tap");
+  for (const double tap : config.fir)
+    WP_REQUIRE(std::isfinite(tap) && tap >= -32768.0 && tap < 32768.0,
+               "FIR tap outside the representable 16.16 range");
+}
+
 wp::SystemSpec make_stream_system(const StreamConfig& config) {
+  validate_stream_config(config);
+
   std::vector<Word> taps;
   taps.reserve(config.fir.size());
   for (double c : config.fir) taps.push_back(fix_from_double(c));
@@ -218,7 +302,7 @@ wp::SystemSpec make_stream_system(const StreamConfig& config) {
     return std::make_unique<FirFilter>("FIR", taps);
   });
   spec.add_process("GAIN", [config]() {
-    return std::make_unique<GainStage>("GAIN", config.agc_period);
+    return std::make_unique<GainStage>("GAIN", resolved_gain_period(config));
   });
   spec.add_process("QNT", []() { return std::make_unique<Quantizer>("QNT"); });
   spec.add_process("AGC", [config]() {
@@ -226,7 +310,7 @@ wp::SystemSpec make_stream_system(const StreamConfig& config) {
                                         config.agc_target);
   });
   spec.add_process("SNK", [config]() {
-    return std::make_unique<StreamSink>("SNK", config.samples);
+    return std::make_unique<StreamSink>("SNK", config.samples, config.sink);
   });
 
   spec.add_channel("SRC", "out", "FIR", "in", "SRC-FIR");

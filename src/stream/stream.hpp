@@ -10,6 +10,10 @@
 // exactly the communication profile where the paper's WP2 wrapper recovers
 // the throughput a strict WP1 wrapper loses when the feedback wire needs
 // relay stations. Samples are 16.16 fixed-point in the low 32 bits.
+//
+// Multi-stage graphs beyond this fixed five-stage pipeline (parameterized
+// FIR depth and branch fan-out, for the heavy-traffic harness) live in
+// stream/harness.hpp.
 #pragma once
 
 #include <array>
@@ -18,11 +22,17 @@
 
 #include "core/process.hpp"
 #include "core/system.hpp"
+#include "util/stats.hpp"
 
 namespace wp::stream {
 
 /// 16.16 fixed point helpers.
 inline constexpr std::int64_t kFixOne = 1 << 16;
+
+/// Converts to 16.16 fixed point. The input must be finite and inside the
+/// representable range [-32768, 32768) — NaN or out-of-range doubles used
+/// to reach std::lround, which is undefined behaviour there; now they fail
+/// a WP_REQUIRE at the conversion site instead.
 Word fix_from_double(double x);
 double fix_to_double(Word w);
 Word fix_mul(Word a, Word b);
@@ -60,12 +70,20 @@ class FirFilter final : public Process {
 /// paper's "processing signal derived from the process operation"), so the
 /// oracle requires the gain input only on those firings; the AGC marks
 /// fresh tokens with bit 63 and the stage cross-checks the cadence.
+///
+/// The period MUST equal the period of the AgcControl feeding the "gain"
+/// input — a mismatched pair dies on a WP_CHECK deep inside the
+/// simulation. Spec builders validate this up front (make_stream_system /
+/// harness builders throw at build time); hand-assembled SystemSpecs
+/// should call validate_stream_config before simulating.
 class GainStage final : public Process {
  public:
   GainStage(std::string name, std::uint64_t period);
   InputMask required(const PeekView& peek) const override;
   void fire(const Word* in, Word* out) override;
   void reset() override;
+
+  std::uint64_t period() const { return period_; }
 
  private:
   bool reads_gain() const { return firing_ > 0 && firing_ % period_ == 0; }
@@ -105,31 +123,81 @@ class AgcControl final : public Process {
   Word gain_ = static_cast<Word>(kFixOne);
 };
 
+/// How a StreamSink retains what it receives.
+struct SinkOptions {
+  /// true  — retain every sample (tests that compare streams bit for bit;
+  ///         memory grows with the run, reserve()d up front when the halt
+  ///         limit is known);
+  /// false — stats-only: RunningStats + order-sensitive digest + an
+  ///         optional tail window, O(1) memory no matter how many million
+  ///         tokens flow through. The heavy-traffic harness mode.
+  bool keep_samples = true;
+  /// Stats-only mode: retain the most recent `tail_window` samples (0 =
+  /// none) so long runs still expose a comparable suffix.
+  std::size_t tail_window = 0;
+};
+
 /// Collects the output stream; halts after `limit` samples when limit > 0.
+/// Every retention mode maintains count() and an order-sensitive FNV
+/// digest() of the full word stream, so two sinks can be compared
+/// byte-for-byte without either retaining the stream.
 class StreamSink final : public Process {
  public:
-  StreamSink(std::string name, std::uint64_t limit);
+  StreamSink(std::string name, std::uint64_t limit, SinkOptions options = {});
   void fire(const Word* in, Word* out) override;
   void reset() override;
   bool halted() const override;
 
-  const std::vector<Word>& samples() const { return samples_; }
+  std::uint64_t count() const { return count_; }
+  /// Digest of all received words in order (FNV-1a + avalanche combine).
+  std::uint64_t digest() const { return digest_; }
+  /// Welford stats over the received values interpreted as 16.16.
+  const RunningStats& value_stats() const { return value_stats_; }
+
+  /// Full sample retention; requires keep_samples mode.
+  const std::vector<Word>& samples() const;
+  /// The last min(count, tail_window) samples, oldest first (stats-only
+  /// mode; empty when tail_window is 0).
+  std::vector<Word> tail() const;
 
  private:
+  SinkOptions options_;
   std::uint64_t limit_;
-  std::vector<Word> samples_;
+  std::uint64_t count_ = 0;
+  std::uint64_t digest_;
+  RunningStats value_stats_;
+  std::vector<Word> samples_;  // keep_samples mode only
+  std::vector<Word> tail_;     // stats-only ring, tail_pos_ = next slot
+  std::size_t tail_pos_ = 0;
 };
 
 struct StreamConfig {
   std::uint64_t samples = 4000;     ///< sink halt limit
   std::uint64_t agc_period = 16;    ///< gain updates every K samples
+  /// Gain-stage cadence; 0 follows agc_period. Any other value must EQUAL
+  /// agc_period — the field exists so hand-built configurations state the
+  /// cadence explicitly and a mismatch fails at make_stream_system time
+  /// (ContractViolation) instead of deadlocking mid-simulation.
+  std::uint64_t gain_period = 0;
   double agc_target = 0.25;
   std::uint64_t seed = 7;
   std::vector<double> fir = {0.25, 0.5, 0.25};
+  SinkOptions sink;
 };
 
+/// The gain-stage cadence a config resolves to (gain_period, or agc_period
+/// when gain_period is 0).
+std::uint64_t resolved_gain_period(const StreamConfig& config);
+
+/// Validates a config the way make_stream_system will: periods >= 1 and
+/// matching cadence, positive finite AGC target, non-empty FIR taps inside
+/// the 16.16 range. Throws ContractViolation with the failing field —
+/// at spec-build time, not deep inside a simulation.
+void validate_stream_config(const StreamConfig& config);
+
 /// Builds the five-stage pipeline; connections are named SRC-FIR, FIR-GAIN,
-/// GAIN-QNT, QNT-SNK, QNT-AGC and AGC-GAIN (the feedback link).
+/// GAIN-QNT, QNT-SNK, QNT-AGC and AGC-GAIN (the feedback link). Calls
+/// validate_stream_config first.
 wp::SystemSpec make_stream_system(const StreamConfig& config);
 
 }  // namespace wp::stream
