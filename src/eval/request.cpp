@@ -228,7 +228,7 @@ AnnealKnobs decode_knobs(Reader& r) {
   k.cooling = r.f64();
   k.seed = r.u64();
   const std::uint8_t engine = r.u8();
-  if (engine > static_cast<std::uint8_t>(fplan::PackEngine::kFast))
+  if (engine > static_cast<std::uint8_t>(fplan::PackEngine::kBatched))
     throw WireError("unknown pack-engine tag");
   k.pack_engine = static_cast<fplan::PackEngine>(engine);
   return k;

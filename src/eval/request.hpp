@@ -96,7 +96,7 @@ struct AnnealKnobs {
   double initial_temperature = 1.0;
   double cooling = 0.9995;
   std::uint64_t seed = 42;
-  fplan::PackEngine pack_engine = fplan::PackEngine::kFast;
+  fplan::PackEngine pack_engine = fplan::PackEngine::kBatched;
 
   static AnnealKnobs from_options(const fplan::AnnealOptions& options);
   fplan::AnnealOptions to_options() const;

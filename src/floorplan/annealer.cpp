@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "floorplan/batch_pack.hpp"
 #include "floorplan/pack_engine.hpp"
 #include "graph/throughput_engine.hpp"
 #include "obs/metrics.hpp"
@@ -76,11 +77,11 @@ class CostModel {
     }
   }
 
-  double cost(const Placement& placement, AnnealResult* stats) {
+  double cost(const Placement& placement, double wirelength,
+              AnnealResult* stats) {
     double th = 1.0;
     if (use_throughput_) th = throughput(placement, stats);
-    return combine_cost(options_, placement.area(),
-                        total_wirelength(inst_, placement), th);
+    return combine_cost(options_, placement.area(), wirelength, th);
   }
 
  private:
@@ -158,21 +159,37 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
   SequencePair current = SequencePair::random(inst.blocks.size(), rng);
 
   // The fast engine keeps an IncrementalPacker in lockstep with `current`
-  // and delta-evaluates each move; the naive engine re-packs from scratch.
-  // Placements are bit-identical either way, so the accept/reject stream —
-  // and hence the whole trajectory — is engine-independent.
+  // and delta-evaluates each move; the batched engine speculates windows
+  // of candidates against a pinned baseline (BatchedMoveEvaluator); the
+  // naive engine re-packs from scratch. Placements are bit-identical
+  // across all three, so the accept/reject stream — and hence the whole
+  // trajectory — is engine-independent. Wirelength is a sequential full
+  // scan on every engine: under uniform global swaps a candidate moves
+  // ~n/3 blocks, touching most nets, and a hardware-prefetched pass over
+  // the net array beats any dirty-set walk at that density (measured; an
+  // incremental tracker was tried and lost at every instance family).
   const bool fast = options.pack_engine == PackEngine::kFast;
+  const bool batched = options.pack_engine == PackEngine::kBatched;
   const auto initial_pack_start = Clock::now();
   std::optional<IncrementalPacker> packer;
+  std::optional<BatchedMoveEvaluator> evaluator;
   {
     WP_SPAN("anneal/pack");
     if (fast) packer.emplace(inst, current);
+    if (batched) {
+      BatchOptions batch;
+      batch.batch_size = options.speculation_batch;
+      evaluator.emplace(inst, current, batch);
+    }
   }
   Placement scratch;
-  if (!fast) scratch = pack(inst, current);
+  if (!fast && !batched) scratch = pack(inst, current);
   best.pack_ms += ms_since(initial_pack_start);
-  const Placement* placement = fast ? &packer->placement() : &scratch;
-  double current_cost = model.cost(*placement, &best);
+  const Placement* placement = batched ? &evaluator->placement()
+                               : fast  ? &packer->placement()
+                                       : &scratch;
+  double wirelength = total_wirelength(inst, *placement);
+  double current_cost = model.cost(*placement, wirelength, &best);
 
   best.sequence_pair = current;
   best.placement = *placement;
@@ -184,20 +201,24 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
     const AppliedMove move = random_move(current, rng);
     const auto pack_start = Clock::now();
     const Placement* candidate;
-    if (fast) {
+    if (batched) {
+      candidate = &evaluator->apply(move);
+    } else if (fast) {
       candidate = &packer->apply(move);
     } else {
       scratch = pack(inst, current);
       candidate = &scratch;
     }
     best.pack_ms += ms_since(pack_start);
-    const double cost = model.cost(*candidate, &best);
+    wirelength = total_wirelength(inst, *candidate);
+    const double cost = model.cost(*candidate, wirelength, &best);
     ++best.evaluations;
     const double delta = cost - current_cost;
     if (delta <= 0 ||
         rng.uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
       current_cost = cost;
       ++best.accepted_moves;
+      if (batched) evaluator->commit();
       if (cost < best.cost) {
         best.cost = cost;
         best.sequence_pair = current;
@@ -205,13 +226,25 @@ AnnealResult anneal(const Instance& inst, const AnnealOptions& options) {
       }
     } else {
       undo_move(current, move);
-      if (fast) packer->revert();
+      if (batched) {
+        evaluator->revert();
+      } else if (fast) {
+        packer->revert();
+      }
     }
     temperature *= options.cooling;
   }
 
   placement_cost(inst, best.placement, options, &best.area,
                  &best.wirelength, &best.throughput);
+  if (batched) {
+    const BatchedMoveEvaluator::Stats& batch_stats = evaluator->stats();
+    best.batch_persistent_evals = batch_stats.persistent_evals;
+    best.batch_prime_evals = batch_stats.prime_evals;
+    best.batch_full_packs = batch_stats.full_packs;
+    best.batch_index_rebuilds = batch_stats.index_rebuilds;
+    best.batch_reprime_saved = batch_stats.reprime_positions_saved;
+  }
   if (options.throughput_engine != nullptr) {
     const graph::ThroughputEngine::Stats after =
         options.throughput_engine->stats();

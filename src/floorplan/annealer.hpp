@@ -51,11 +51,19 @@ struct AnnealOptions {
   double initial_temperature = 1.0;
   double cooling = 0.9995;       ///< geometric cooling per iteration
   std::uint64_t seed = 42;
-  /// Packing implementation for the move loop. Both engines yield
+  /// Packing implementation for the move loop. All engines yield
   /// bit-identical placements (and therefore identical annealing
-  /// trajectories under a fixed seed); kFast delta-evaluates moves with the
-  /// IncrementalPacker instead of re-running the O(n²) relaxation.
-  PackEngine pack_engine = PackEngine::kFast;
+  /// trajectories under a fixed seed): kNaive re-runs the O(n²) relaxation
+  /// per move and stays the differential oracle, kFast delta-evaluates
+  /// moves with the IncrementalPacker, and kBatched (the default) runs the
+  /// speculative BatchedMoveEvaluator — windows of candidates share one
+  /// pinned baseline, rejected candidates cost O(dirty·polylog n) via the
+  /// persistent dominance index, and wirelength is tracked incrementally.
+  PackEngine pack_engine = PackEngine::kBatched;
+  /// Speculation-window cap K for kBatched (BatchOptions::batch_size):
+  /// how many candidates may share one baseline before the window closes.
+  /// Trajectory-invariant — K only moves cost, never results.
+  std::size_t speculation_batch = 8;
 };
 
 struct AnnealResult {
@@ -79,6 +87,16 @@ struct AnnealResult {
   /// queries the run issued.
   std::uint64_t engine_incremental = 0;
   std::uint64_t engine_fallbacks = 0;
+  /// BatchedMoveEvaluator path counters for this run (zeros for the other
+  /// engines): candidates served by the persistent dominance index vs the
+  /// incrementally-primed shared Fenwick trees vs full repacks, dominance
+  /// rebuilds paid, and the Γ− prime positions the batched paths skipped
+  /// relative to a per-candidate from-scratch prime.
+  std::uint64_t batch_persistent_evals = 0;
+  std::uint64_t batch_prime_evals = 0;
+  std::uint64_t batch_full_packs = 0;
+  std::uint64_t batch_index_rebuilds = 0;
+  std::uint64_t batch_reprime_saved = 0;
   /// Wall-clock breakdown (informational, never compared): time inside
   /// packing calls and inside the throughput oracle, for the bench
   /// tables/JSON showing each stage's share of the anneal.

@@ -22,9 +22,12 @@
 namespace wp::fplan {
 
 /// Which packing implementation the annealer (and everything layered on
-/// it) uses. Both produce bitwise-identical placements; kNaive is the
-/// O(n²) reference kept as the differential-testing oracle.
-enum class PackEngine { kNaive, kFast };
+/// it) uses. All three produce bitwise-identical placements; kNaive is the
+/// O(n²) reference kept as the differential-testing oracle, kFast the
+/// per-move O(n log n) IncrementalPacker, and kBatched the speculative
+/// BatchedMoveEvaluator (batch_pack.hpp) that amortizes the clean-prefix
+/// work across a window of candidate moves against one pinned baseline.
+enum class PackEngine { kNaive, kFast, kBatched };
 
 const char* pack_engine_name(PackEngine engine);
 
@@ -45,10 +48,31 @@ class MaxFenwick {
   /// Max over indices [0, count); 0.0 when the range is empty.
   double prefix_max(std::size_t count) const;
 
+  /// Like update(), but records every node it changes so rewind() can
+  /// restore the tree to an earlier mark(). This is what lets the batched
+  /// evaluator keep one shared tree primed to a *moving* Γ− prefix: advance
+  /// with update_logged(), retreat with rewind(), never re-prime from zero.
+  void update_logged(std::size_t index, double value);
+
+  /// Trail position for a later rewind(). Only monotone while mutations go
+  /// through update_logged(); reset() clears the trail and all marks.
+  std::size_t mark() const { return trail_.size(); }
+
+  /// Undoes every update_logged() recorded after `mark`, restoring both
+  /// node values and epoch stamps.
+  void rewind(std::size_t mark);
+
  private:
+  struct TrailEntry {
+    std::size_t node;
+    std::uint64_t epoch;
+    double value;
+  };
+
   std::vector<double> tree_;
   std::vector<std::uint64_t> epoch_;
   std::uint64_t current_epoch_ = 0;
+  std::vector<TrailEntry> trail_;
 };
 
 }  // namespace detail
@@ -67,14 +91,20 @@ Placement pack_fast(const Instance& inst, const SequencePair& sp);
 /// caller keeps using random_move()/undo_move() on its own copy and
 /// forwards each AppliedMove here.
 ///
-/// Cost honesty: the delta path still re-primes the Fenwick tree over the
-/// clean Γ− prefix, so a move costs O(n log n) like a full repack — the
+/// Cost honesty: the delta path here still re-primes the Fenwick tree over
+/// the clean Γ− prefix, so a move costs O(n log n) like a full repack — the
 /// delta machinery buys a smaller constant (coordinate writes, change
 /// trail and revert() touch only the dirty suffix) on top of the
 /// engine's real win, which is O(n log n) vs the naive O(n²) relaxation
 /// per move (~8–10× at 100–150 blocks, see bench_floorplan_flow).
-/// Truly sub-linear moves would need a persistent 2D dominance structure
-/// over (Γ−, Γ+) positions; not worth it at current instance sizes.
+/// The sub-linear round lives in batch_pack.hpp: BatchedMoveEvaluator pins
+/// a baseline per speculation window and answers the clean-prefix query
+/// from a persistent 2D dominance index over (Γ−, Γ+) positions
+/// (O(dirty·log² n) per rejected candidate, no re-prime at all), falling
+/// back to a shared incrementally-primed tree (update_logged/rewind) when
+/// the index is stale and to a full repack when the dirty suffix covers
+/// most of the instance. This class remains the simple one-move engine and
+/// the reference the batched paths are differentially tested against.
 ///
 /// Usage (one outstanding move at a time, the annealer's shape):
 ///   IncrementalPacker packer(inst, sp);

@@ -65,8 +65,8 @@ struct EnsembleConfig {
   /// Per-sample annealing job; seed and throughput_fn are overridden per
   /// sample (private evaluator). weight_throughput > 0 makes the
   /// floorplanner fight for loop throughput, the paper's methodology.
-  /// anneal.pack_engine selects the packing engine (default kFast, the
-  /// incremental O(n log n) path; placements are bit-identical to kNaive).
+  /// anneal.pack_engine selects the packing engine (default kBatched, the
+  /// speculative batched path; placements are bit-identical to kNaive).
   fplan::AnnealOptions anneal;
   /// Johnson cycle-enumeration cap for the per-sample cycle count; graphs
   /// whose elementary-cycle count exceeds it record cycles = -1 instead of

@@ -1,12 +1,16 @@
-// Differential guardrail for the fast packing engine: pack_fast() and
-// IncrementalPacker must be *bitwise* identical to the naive O(n²) pack()
-// on randomized instances across sizes, including through long randomized
-// move/undo chains and across the delta-vs-full-repack fallback paths.
-// Also pins down the move involution invariants (apply+undo restores both
-// permutations for every SpMove kind, i == j degenerate cases included)
-// and the engine-independence of the annealer: naive and fast runs of the
-// same seed produce the same trajectory, serial and pooled restarts the
-// same best, and the ensemble pipeline the same samples.
+// Differential guardrail for the fast packing engines: pack_fast(),
+// IncrementalPacker and BatchedMoveEvaluator must be *bitwise* identical
+// to the naive O(n²) pack() on randomized instances across sizes,
+// including through long randomized move/undo chains, across the
+// delta-vs-full-repack fallback paths, and across every batched
+// evaluation path (persistent dominance index / incremental shared prime
+// / full repack) and window size K. Also pins down the move involution
+// invariants (apply+undo restores both permutations for every SpMove
+// kind, i == j degenerate cases included), the exactness of the batched
+// evaluator's dirty-block reports, and the engine-independence of the
+// annealer: naive, fast and batched runs of the same seed produce
+// the same trajectory, serial and pooled restarts the same best, and the
+// ensemble pipeline the same samples.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,6 +21,7 @@
 #include "util/assert.hpp"
 
 #include "floorplan/annealer.hpp"
+#include "floorplan/batch_pack.hpp"
 #include "floorplan/instances.hpp"
 #include "floorplan/model.hpp"
 #include "floorplan/pack_engine.hpp"
@@ -191,6 +196,263 @@ TEST(IncrementalPacker, RejectsInvalidInput) {
                wp::ContractViolation);
 }
 
+// ----------------------------------------- batched speculative engine
+
+class BatchedEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchedEquivalence, SpeculativeChainsMatchNaiveForEveryWindowSize) {
+  // Reject-biased chains (the annealing-tail regime the evaluator exists
+  // for) through every window size: each candidate, each revert and each
+  // commit must leave the evaluator bitwise equal to a fresh naive pack.
+  // The same seed drives every K, so this also proves the chain the
+  // evaluator walks — and therefore the trajectory — is K-independent.
+  const std::size_t n = GetParam();
+  const Instance inst = instance_of(n, 13 * n + 7);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{4},
+                              std::size_t{16}}) {
+    wp::Rng rng(4000 + n);
+    SequencePair sp = SequencePair::random(n, rng);
+    BatchOptions options;
+    options.batch_size = k;
+    BatchedMoveEvaluator evaluator(inst, sp, options);
+    const int moves = n >= 100 ? 150 : 400;
+    for (int m = 0; m < moves; ++m) {
+      const AppliedMove move = random_move(sp, rng);
+      ASSERT_TRUE(placements_identical(evaluator.apply(move), pack(inst, sp)))
+          << "n=" << n << " K=" << k << " move " << m << " kind "
+          << static_cast<int>(move.kind) << " i=" << move.i
+          << " j=" << move.j;
+      if (rng.chance(0.7)) {  // reject: undo + revert must restore baseline
+        undo_move(sp, move);
+        evaluator.revert();
+        ASSERT_TRUE(
+            placements_identical(evaluator.placement(), pack(inst, sp)))
+            << "n=" << n << " K=" << k << " after revert of move " << m;
+        ASSERT_EQ(evaluator.sequence_pair().positive, sp.positive);
+        ASSERT_EQ(evaluator.sequence_pair().negative, sp.negative);
+      } else {
+        evaluator.commit();
+      }
+    }
+    EXPECT_EQ(evaluator.stats().candidates,
+              static_cast<std::uint64_t>(moves));
+    EXPECT_EQ(evaluator.stats().persistent_evals +
+                  evaluator.stats().prime_evals +
+                  evaluator.stats().full_packs,
+              static_cast<std::uint64_t>(moves));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchedEquivalence,
+                         ::testing::Values<std::size_t>(2, 3, 8, 32, 128));
+
+TEST(BatchedMoveEvaluator, AllEvaluationPathsAgreeOnTheSameChain) {
+  // Force each path: persistent_fraction = 1 with batch_size 1 rebuilds
+  // the dominance index after every rejected window, so nearly every
+  // candidate runs through the persistent structure; persistent_fraction
+  // = 0 forces the incremental shared-prime path; fallback_fraction = 0
+  // forces full repacks. All three walk the same move chain and must stay
+  // bitwise identical to naive pack() throughout.
+  const std::size_t n = 48;
+  const Instance inst = synthetic_instance(n, 29);
+  wp::Rng rng(31);
+  SequencePair sp = SequencePair::random(n, rng);
+
+  BatchOptions persistent;
+  persistent.batch_size = 1;
+  persistent.persistent_fraction = 1.0;
+  persistent.fallback_fraction = 1.0;
+  BatchOptions primed;
+  primed.persistent_fraction = 0.0;
+  primed.fallback_fraction = 1.0;
+  BatchOptions full;
+  full.fallback_fraction = 0.0;
+
+  BatchedMoveEvaluator via_index(inst, sp, persistent);
+  BatchedMoveEvaluator via_prime(inst, sp, primed);
+  BatchedMoveEvaluator via_full(inst, sp, full);
+  for (int m = 0; m < 300; ++m) {
+    const AppliedMove move = random_move(sp, rng);
+    const Placement& reference = pack(inst, sp);
+    ASSERT_TRUE(placements_identical(via_index.apply(move), reference))
+        << "persistent path, move " << m;
+    ASSERT_TRUE(placements_identical(via_prime.apply(move), reference))
+        << "prime path, move " << m;
+    ASSERT_TRUE(placements_identical(via_full.apply(move), reference))
+        << "full path, move " << m;
+    if (rng.chance(0.6)) {
+      undo_move(sp, move);
+      via_index.revert();
+      via_prime.revert();
+      via_full.revert();
+    } else {
+      via_index.commit();
+      via_prime.commit();
+      via_full.commit();
+    }
+  }
+  EXPECT_EQ(via_full.stats().persistent_evals, 0u);
+  EXPECT_EQ(via_full.stats().prime_evals, 0u);
+  EXPECT_GT(via_index.stats().persistent_evals, 0u);
+  EXPECT_GT(via_index.stats().index_rebuilds, 0u);
+  EXPECT_EQ(via_prime.stats().persistent_evals, 0u);
+  EXPECT_GT(via_prime.stats().prime_evals, 0u);
+  EXPECT_GT(via_prime.stats().reprime_positions_saved, 0u);
+}
+
+TEST(BatchedMoveEvaluator, ImplicitCommitMatchesExplicitCommit) {
+  // apply() while a candidate is pending commits it — the same ergonomics
+  // IncrementalPacker's apply-after-apply has. An accept-every-move chain
+  // driven that way must walk the same states as one with explicit
+  // commit() calls, and both must track naive pack().
+  const Instance inst = synthetic_instance(24, 41);
+  wp::Rng rng(43);
+  SequencePair sp = SequencePair::random(24, rng);
+  BatchedMoveEvaluator implicit(inst, sp);
+  BatchedMoveEvaluator explicit_commit(inst, sp);
+  for (int m = 0; m < 120; ++m) {
+    const AppliedMove move = random_move(sp, rng);
+    implicit.apply(move);  // previous candidate (if any) commits here
+    explicit_commit.apply(move);
+    explicit_commit.commit();
+    ASSERT_TRUE(placements_identical(implicit.placement(),
+                                     explicit_commit.placement()))
+        << "move " << m;
+    ASSERT_TRUE(
+        placements_identical(explicit_commit.placement(), pack(inst, sp)))
+        << "move " << m;
+  }
+  EXPECT_EQ(implicit.stats().commits + 1, explicit_commit.stats().commits);
+}
+
+TEST(BatchedMoveEvaluator, FallbackBoundariesAndDegenerateMoves) {
+  const Instance inst = synthetic_instance(8, 4);
+  wp::Rng rng(5);
+  const SequencePair sp = SequencePair::random(8, rng);
+  // Degenerate i == j moves are no-ops on every path and revert cleanly.
+  for (const SpMove kind :
+       {SpMove::kSwapPositive, SpMove::kSwapNegative, SpMove::kSwapBoth}) {
+    BatchedMoveEvaluator evaluator(inst, sp);
+    const Placement before = evaluator.placement();
+    const AppliedMove degenerate{kind, 5, 5};
+    ASSERT_TRUE(placements_identical(evaluator.apply(degenerate), before));
+    EXPECT_EQ(evaluator.sequence_pair().positive, sp.positive);
+    EXPECT_EQ(evaluator.sequence_pair().negative, sp.negative);
+    evaluator.revert();
+    ASSERT_TRUE(placements_identical(evaluator.placement(), before));
+    // ... and committing one must not invalidate the baseline structures.
+    evaluator.apply(degenerate);
+    evaluator.commit();
+    ASSERT_TRUE(placements_identical(evaluator.placement(), before));
+  }
+  // The smallest legal instance exercises the n == 2 boundary where every
+  // move dirties everything.
+  const Instance tiny = synthetic_instance(2, 6);
+  wp::Rng tiny_rng(7);
+  SequencePair tiny_sp = SequencePair::random(2, tiny_rng);
+  BatchedMoveEvaluator evaluator(tiny, tiny_sp);
+  for (int m = 0; m < 50; ++m) {
+    const AppliedMove move = random_move(tiny_sp, tiny_rng);
+    ASSERT_TRUE(
+        placements_identical(evaluator.apply(move), pack(tiny, tiny_sp)));
+    undo_move(tiny_sp, move);
+    evaluator.revert();
+  }
+}
+
+TEST(BatchedMoveEvaluator, ResetResynchronisesToArbitraryPairs) {
+  const Instance inst = synthetic_instance(12, 6);
+  wp::Rng rng(21);
+  SequencePair sp = SequencePair::random(12, rng);
+  BatchedMoveEvaluator evaluator(inst, sp);
+  for (int round = 0; round < 10; ++round) {
+    const SequencePair fresh = SequencePair::random(12, rng);
+    evaluator.reset(fresh);
+    ASSERT_TRUE(
+        placements_identical(evaluator.placement(), pack(inst, fresh)));
+  }
+}
+
+TEST(BatchedMoveEvaluator, MisuseDiesLoudly) {
+  const Instance inst = synthetic_instance(6, 2);
+  wp::Rng rng(3);
+  SequencePair sp = SequencePair::random(6, rng);
+  EXPECT_THROW(BatchedMoveEvaluator(inst, SequencePair::identity(4)),
+               wp::ContractViolation);
+  BatchedMoveEvaluator evaluator(inst, sp);
+  EXPECT_THROW(evaluator.commit(), wp::ContractViolation);  // nothing pending
+  EXPECT_THROW(evaluator.revert(), wp::ContractViolation);
+  EXPECT_THROW(evaluator.apply({SpMove::kSwapBoth, 0, 6}),
+               wp::ContractViolation);
+  const AppliedMove move = random_move(sp, rng);
+  evaluator.apply(move);
+  undo_move(sp, move);
+  evaluator.revert();
+  EXPECT_THROW(evaluator.revert(), wp::ContractViolation);  // double revert
+  BatchOptions bad;
+  bad.batch_size = 0;
+  EXPECT_THROW(BatchedMoveEvaluator(inst, sp, bad), wp::ContractViolation);
+}
+
+TEST(IncrementalPacker, DoubleRevertDiesLoudly) {
+  // Pins the loud-failure contract: revert() is one level deep, and a
+  // second revert() without an intervening apply() must throw rather than
+  // silently corrupt the placement.
+  const Instance inst = synthetic_instance(10, 8);
+  wp::Rng rng(9);
+  SequencePair sp = SequencePair::random(10, rng);
+  IncrementalPacker packer(inst, sp);
+  const AppliedMove move = random_move(sp, rng);
+  packer.apply(move);
+  undo_move(sp, move);
+  packer.revert();
+  EXPECT_THROW(packer.revert(), wp::ContractViolation);
+}
+
+// ------------------------------------------------ dirty-block reports
+
+TEST(BatchedEvaluator, DirtyBlocksExactOnEveryPath) {
+  // dirty_blocks() must list exactly the blocks whose coordinates the
+  // candidate changed — no more, no fewer — on every evaluation path,
+  // including the full-repack fallback (which diffs against the saved
+  // baseline rather than reporting "everything").
+  const std::size_t n = 32;
+  const Instance inst = synthetic_instance(n, 19);
+  for (const double fallback : {0.0, 0.75}) {
+    wp::Rng rng(23);
+    SequencePair sp = SequencePair::random(n, rng);
+    BatchOptions options;
+    options.fallback_fraction = fallback;
+    BatchedMoveEvaluator evaluator(inst, sp, options);
+    Placement baseline = evaluator.placement();
+    for (int m = 0; m < 300; ++m) {
+      const AppliedMove move = random_move(sp, rng);
+      const Placement& candidate = evaluator.apply(move);
+      if (fallback == 0.0 && move.i != move.j) {
+        ASSERT_TRUE(evaluator.last_was_full());
+      }
+      std::vector<bool> reported(n, false);
+      for (const std::uint32_t b : evaluator.dirty_blocks()) {
+        ASSERT_LT(b, n);
+        ASSERT_FALSE(reported[b]) << "duplicate dirty report, move " << m;
+        reported[b] = true;
+      }
+      for (std::size_t b = 0; b < n; ++b) {
+        const bool moved = candidate.x[b] != baseline.x[b] ||
+                           candidate.y[b] != baseline.y[b];
+        ASSERT_EQ(reported[b], moved) << "block " << b << ", move " << m;
+      }
+      if (rng.chance(0.6)) {
+        undo_move(sp, move);
+        evaluator.revert();
+      } else {
+        evaluator.commit();
+        baseline = evaluator.placement();
+      }
+    }
+  }
+}
+
 // --------------------------------------------------------------- moves
 
 TEST(Moves, ApplyTwiceIsIdentityForEveryKind) {
@@ -279,7 +541,19 @@ TEST(AnnealerEngines, AreaDrivenRunsAreBitIdenticalAcrossEngines) {
   naive.pack_engine = PackEngine::kNaive;
   AnnealOptions fast = naive;
   fast.pack_engine = PackEngine::kFast;
-  EXPECT_TRUE(identical_results(anneal(inst, naive), anneal(inst, fast)));
+  const AnnealResult reference = anneal(inst, naive);
+  EXPECT_TRUE(identical_results(reference, anneal(inst, fast)));
+  // The batched engine must reproduce the serial naive trajectory exactly
+  // for every speculation-window size — K amortizes baseline work, it
+  // never reorders RNG draws or decisions.
+  for (const std::size_t k : {std::size_t{1}, std::size_t{4},
+                              std::size_t{16}}) {
+    AnnealOptions batched = naive;
+    batched.pack_engine = PackEngine::kBatched;
+    batched.speculation_batch = k;
+    EXPECT_TRUE(identical_results(reference, anneal(inst, batched)))
+        << "K=" << k;
+  }
 }
 
 TEST(AnnealerEngines, ThroughputDrivenRunsAreBitIdenticalAcrossEngines) {
@@ -295,7 +569,12 @@ TEST(AnnealerEngines, ThroughputDrivenRunsAreBitIdenticalAcrossEngines) {
   AnnealOptions fast = naive;
   fast.throughput_fn = wp::graph::ThroughputEvaluator(graph);
   fast.pack_engine = PackEngine::kFast;
-  EXPECT_TRUE(identical_results(anneal(inst, naive), anneal(inst, fast)));
+  AnnealOptions batched = naive;
+  batched.throughput_fn = wp::graph::ThroughputEvaluator(graph);
+  batched.pack_engine = PackEngine::kBatched;
+  const AnnealResult reference = anneal(inst, naive);
+  EXPECT_TRUE(identical_results(reference, anneal(inst, fast)));
+  EXPECT_TRUE(identical_results(reference, anneal(inst, batched)));
 }
 
 TEST(AnnealerEngines, PooledRestartsMatchSerialForBothEngines) {
@@ -303,9 +582,10 @@ TEST(AnnealerEngines, PooledRestartsMatchSerialForBothEngines) {
   // for each engine, anneal_parallel must reproduce the sequential best-of
   // exactly, and the two engines must land on the same best.
   const Instance inst = synthetic_instance(12, 5);
-  AnnealResult best_per_engine[2];
+  AnnealResult best_per_engine[3];
   int engine_index = 0;
-  for (const PackEngine engine : {PackEngine::kNaive, PackEngine::kFast}) {
+  for (const PackEngine engine :
+       {PackEngine::kNaive, PackEngine::kFast, PackEngine::kBatched}) {
     ParallelAnnealOptions job;
     job.base.iterations = 1200;
     job.base.seed = 100;
@@ -330,6 +610,7 @@ TEST(AnnealerEngines, PooledRestartsMatchSerialForBothEngines) {
     best_per_engine[engine_index++] = sequential;
   }
   EXPECT_TRUE(identical_results(best_per_engine[0], best_per_engine[1]));
+  EXPECT_TRUE(identical_results(best_per_engine[0], best_per_engine[2]));
 }
 
 TEST(AnnealerEngines, EnsemblePipelineIsEngineIndependent) {
@@ -351,10 +632,17 @@ TEST(AnnealerEngines, EnsemblePipelineIsEngineIndependent) {
   const gen::EnsembleReport with_naive = gen::run_ensemble_sequential(config);
   config.anneal.pack_engine = PackEngine::kFast;
   const gen::EnsembleReport with_fast = gen::run_ensemble_sequential(config);
+  config.anneal.pack_engine = PackEngine::kBatched;
+  const gen::EnsembleReport with_batched =
+      gen::run_ensemble_sequential(config);
   ASSERT_EQ(with_naive.samples.size(), with_fast.samples.size());
-  for (std::size_t i = 0; i < with_naive.samples.size(); ++i)
+  ASSERT_EQ(with_naive.samples.size(), with_batched.samples.size());
+  for (std::size_t i = 0; i < with_naive.samples.size(); ++i) {
     EXPECT_TRUE(with_naive.samples[i] == with_fast.samples[i])
         << "sample " << i << " diverged between engines";
+    EXPECT_TRUE(with_naive.samples[i] == with_batched.samples[i])
+        << "sample " << i << " diverged between naive and batched";
+  }
 }
 
 }  // namespace
