@@ -26,6 +26,7 @@
 
 #include "bench_common.hpp"
 #include "cli/arg_parser.hpp"
+#include "floorplan/pack_engine.hpp"
 #include "gen/ensemble.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -95,11 +96,85 @@ wp::gen::EnsembleConfig make_config() {
   return config;
 }
 
+/// The 256/512/1024-node scale sweep, collected for the JSON artifact.
+struct ScaleSection {
+  bool ran = false;
+  bool engines_identical = true;
+  double batched_ms = 0.0;          ///< pooled run, serial kBatched anneals
+  double parallel_engine_ms = 0.0;  ///< pooled run, kParallel anneals
+  struct Row {
+    std::string family;
+    std::size_t samples = 0;
+    double th_mean = 0, rs_mean = 0, area_mean = 0, anneal_ms_mean = 0;
+  };
+  std::vector<Row> rows;
+};
+
+/// Runs a slice of the scale substrate (ba-256 / mesh-16x16 / ba-1024,
+/// 2 samples each, simulation and cycle enumeration off — the pipeline is
+/// anneal -> placement RS demand -> min-cycle-ratio throughput) twice
+/// through the pooled runner: once with the serial kBatched engine, once
+/// with the speculative kParallel engine. The two reports must be
+/// bit-identical — the scale families are exactly where a parallel-window
+/// divergence would hide, so the bench doubles as the at-scale engine
+/// differential the unit tests cannot afford.
+ScaleSection run_scale_section() {
+  using namespace wp;
+  gen::EnsembleConfig config;
+  config.seed = 2005;
+  config.samples_per_family = 2;
+  config.simulate.enabled = false;
+  config.max_cycle_enumeration = 0;  // Johnson enumeration explodes here
+  for (auto& family : gen::scale_family_specs())
+    if (family.name == "ba-256" || family.name == "mesh-16x16" ||
+        family.name == "ba-1024")
+      config.families.push_back(std::move(family));
+
+  ScaleSection section;
+  section.ran = true;
+
+  config.anneal.pack_engine = fplan::PackEngine::kBatched;
+  const auto batched_start = Clock::now();
+  const gen::EnsembleReport batched = gen::run_ensemble(config);
+  section.batched_ms = seconds_since(batched_start) * 1000.0;
+
+  config.anneal.pack_engine = fplan::PackEngine::kParallel;
+  const auto parallel_start = Clock::now();
+  const gen::EnsembleReport parallel = gen::run_ensemble(config);
+  section.parallel_engine_ms = seconds_since(parallel_start) * 1000.0;
+
+  section.engines_identical = batched.samples == parallel.samples;
+
+  TextTable table({"family", "samples", "Th mean", "RS mean", "area mean",
+                   "anneal ms"});
+  table.add_section(
+      "Scale substrate (2 samples/family, sim off, kBatched vs kParallel "
+      "bit-compared)");
+  table.add_separator();
+  for (const auto& f : parallel.families) {
+    table.add_row({f.family, std::to_string(f.samples),
+                   fmt_fixed(f.th_mean, 3), fmt_fixed(f.rs_mean, 1),
+                   fmt_fixed(f.area_mean, 1),
+                   fmt_fixed(f.anneal_ms_mean, 1)});
+    section.rows.push_back({f.family, f.samples, f.th_mean, f.rs_mean,
+                            f.area_mean, f.anneal_ms_mean});
+  }
+  table.print(std::cout);
+  std::cout << "batched engine " << fmt_fixed(section.batched_ms / 1000.0, 2)
+            << " s, parallel engine "
+            << fmt_fixed(section.parallel_engine_ms / 1000.0, 2)
+            << " s   batched == parallel: "
+            << (section.engines_identical ? "yes" : "NO — ENGINE DIVERGENCE")
+            << "\n\n";
+  return section;
+}
+
 /// Runs one config sequentially and pooled, prints the family table, writes
 /// the CSVs and the JSON artifact, and returns whether the two runs were
 /// bit-identical.
 bool run_and_report(const wp::gen::EnsembleConfig& config,
-                    const std::string& prefix, const std::string& json_path) {
+                    const std::string& prefix, const std::string& json_path,
+                    const ScaleSection& scale) {
   using namespace wp;
   const auto sequential_start = Clock::now();
   const gen::EnsembleReport sequential = gen::run_ensemble_sequential(config);
@@ -197,11 +272,30 @@ bool run_and_report(const wp::gen::EnsembleConfig& config,
       json.end_object();
     }
     json.end_array();
+    if (scale.ran) {
+      json.key("scale").begin_object();
+      json.field("engines_identical", scale.engines_identical);
+      json.field("batched_ms", scale.batched_ms);
+      json.field("parallel_engine_ms", scale.parallel_engine_ms);
+      json.key("families").begin_array();
+      for (const auto& r : scale.rows) {
+        json.begin_object();
+        json.field("family", r.family);
+        json.field("samples", static_cast<unsigned long long>(r.samples));
+        json.field("th_mean", r.th_mean);
+        json.field("rs_mean", r.rs_mean);
+        json.field("area_mean", r.area_mean);
+        json.field("anneal_ms_mean", r.anneal_ms_mean);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+    }
     json.end_object();
     json_file << "\n";
   }
   std::cout << "wrote " << json_path << "\n\n";
-  return identical;
+  return identical && (!scale.ran || scale.engines_identical);
 }
 
 }  // namespace
@@ -220,6 +314,8 @@ int main(int argc, char** argv) {
   parser.option("--families", "a,b,c", "",
                 "subset of families to run (default: all)");
   parser.flag("--no-sim", "skip the netlist-simulation pass");
+  parser.flag("--no-scale",
+              "skip the 256/1024-node scale sweep (kBatched vs kParallel)");
   parser.option("--json", "PATH", "BENCH_ensembles.json",
                 "perf flight-recorder artifact");
   parser.positional("prefix", "bench_ensembles",
@@ -269,5 +365,11 @@ int main(int argc, char** argv) {
                     : "")
             << ", " << ThreadPool::shared().size() << " pool workers\n\n";
 
-  return run_and_report(config, prefix, parser.get("--json")) ? 0 : 1;
+  // The scale sweep runs first (fixed config, independent of --samples /
+  // --families so its snapshot rows stay comparable across invocations);
+  // its JSON lands inside the same artifact via run_and_report.
+  ScaleSection scale;
+  if (!parser.has("--no-scale")) scale = run_scale_section();
+
+  return run_and_report(config, prefix, parser.get("--json"), scale) ? 0 : 1;
 }

@@ -154,6 +154,9 @@ void encode_system(Writer& w, const gen::SystemConfig& s) {
   w.f64(s.blocks.min_aspect);
   w.f64(s.blocks.max_aspect);
   w.i32(s.moore_states);
+  // v2: netlist-free dressing for families whose hubs exceed the
+  // randommoore port model (scale-free topologies at 256+ nodes).
+  w.b(s.build_netlist);
 }
 
 gen::SystemConfig decode_system(Reader& r) {
@@ -164,6 +167,7 @@ gen::SystemConfig decode_system(Reader& r) {
   s.blocks.min_aspect = r.f64();
   s.blocks.max_aspect = r.f64();
   s.moore_states = r.i32();
+  s.build_netlist = r.b();
   return s;
 }
 
@@ -172,6 +176,10 @@ void encode_family(Writer& w, const gen::FamilySpec& f) {
   encode_topology(w, f.topology);
   encode_system(w, f.system);
   w.i32(f.anneal_iterations);
+  // v2: per-family diameter-scaled simulation horizons (0 = inherit the
+  // ensemble-wide EnsembleSimOptions).
+  w.u64(f.golden_cycles);
+  w.u64(f.wp_cycles);
 }
 
 gen::FamilySpec decode_family(Reader& r) {
@@ -180,6 +188,8 @@ gen::FamilySpec decode_family(Reader& r) {
   f.topology = decode_topology(r);
   f.system = decode_system(r);
   f.anneal_iterations = r.i32();
+  f.golden_cycles = r.u64();
+  f.wp_cycles = r.u64();
   return f;
 }
 
@@ -228,7 +238,7 @@ AnnealKnobs decode_knobs(Reader& r) {
   k.cooling = r.f64();
   k.seed = r.u64();
   const std::uint8_t engine = r.u8();
-  if (engine > static_cast<std::uint8_t>(fplan::PackEngine::kBatched))
+  if (engine > static_cast<std::uint8_t>(fplan::PackEngine::kParallel))
     throw WireError("unknown pack-engine tag");
   k.pack_engine = static_cast<fplan::PackEngine>(engine);
   return k;

@@ -55,15 +55,28 @@ struct AnnealOptions {
   /// bit-identical placements (and therefore identical annealing
   /// trajectories under a fixed seed): kNaive re-runs the O(n²) relaxation
   /// per move and stays the differential oracle, kFast delta-evaluates
-  /// moves with the IncrementalPacker, and kBatched (the default) runs the
+  /// moves with the IncrementalPacker, kBatched (the default) runs the
   /// speculative BatchedMoveEvaluator — windows of candidates share one
   /// pinned baseline, rejected candidates cost O(dirty·polylog n) via the
-  /// persistent dominance index, and wirelength is tracked incrementally.
+  /// persistent dominance index — and kParallel fans each speculation
+  /// window's candidate evaluations across a thread pool
+  /// (ParallelWindowEvaluator) while retiring acceptances serially, so
+  /// the trajectory stays bit-identical at every thread count.
   PackEngine pack_engine = PackEngine::kBatched;
   /// Speculation-window cap K for kBatched (BatchOptions::batch_size):
   /// how many candidates may share one baseline before the window closes.
   /// Trajectory-invariant — K only moves cost, never results.
   std::size_t speculation_batch = 8;
+  /// kParallel only: pool the window evaluations fan over; nullptr uses
+  /// ThreadPool::shared(). When the anneal itself already runs on a worker
+  /// of this pool (anneal_parallel restarts, pooled ensembles), the
+  /// fan-out degrades to inline evaluation on that worker — correct and
+  /// deterministic, the outer parallelism owns the cores.
+  wp::ThreadPool* eval_pool = nullptr;
+  /// kParallel only: speculation-window size K per fan-out; 0 auto-scales
+  /// to twice the pool width. Trajectory-invariant — K moves the
+  /// speculation-efficiency/parallelism trade, never results.
+  std::size_t parallel_window = 0;
 };
 
 struct AnnealResult {
@@ -97,6 +110,16 @@ struct AnnealResult {
   std::uint64_t batch_full_packs = 0;
   std::uint64_t batch_index_rebuilds = 0;
   std::uint64_t batch_reprime_saved = 0;
+  /// ParallelWindowEvaluator accounting for this run (zeros for the other
+  /// engines): windows fanned, candidates evaluated past the commit point
+  /// (speculation the serial trajectory never consumed — the wasted-work
+  /// price of the parallel fan-out). Deterministic in (instance, seed, K);
+  /// independent of the thread count, so cross-thread-count equality
+  /// tests may compare them. parallel_drawn - parallel_wasted ==
+  /// evaluations always holds.
+  std::uint64_t parallel_windows = 0;
+  std::uint64_t parallel_drawn = 0;
+  std::uint64_t parallel_wasted = 0;
   /// Wall-clock breakdown (informational, never compared): time inside
   /// packing calls and inside the throughput oracle, for the bench
   /// tables/JSON showing each stage's share of the anneal.

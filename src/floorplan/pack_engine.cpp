@@ -34,6 +34,7 @@ const char* pack_engine_name(PackEngine engine) {
     case PackEngine::kNaive: return "naive";
     case PackEngine::kFast: return "fast";
     case PackEngine::kBatched: return "batched";
+    case PackEngine::kParallel: return "parallel";
   }
   return "?";
 }

@@ -22,12 +22,15 @@
 namespace wp::fplan {
 
 /// Which packing implementation the annealer (and everything layered on
-/// it) uses. All three produce bitwise-identical placements; kNaive is the
-/// O(n²) reference kept as the differential-testing oracle, kFast the
-/// per-move O(n log n) IncrementalPacker, and kBatched the speculative
+/// it) uses. All engines produce bitwise-identical placements; kNaive is
+/// the O(n²) reference kept as the differential-testing oracle, kFast the
+/// per-move O(n log n) IncrementalPacker, kBatched the speculative
 /// BatchedMoveEvaluator (batch_pack.hpp) that amortizes the clean-prefix
-/// work across a window of candidate moves against one pinned baseline.
-enum class PackEngine { kNaive, kFast, kBatched };
+/// work across a window of candidate moves against one pinned baseline,
+/// and kParallel the ParallelWindowEvaluator (parallel_pack.hpp) that
+/// additionally fans the window's candidate evaluations across a
+/// ThreadPool — same trajectory, more cores.
+enum class PackEngine { kNaive, kFast, kBatched, kParallel };
 
 const char* pack_engine_name(PackEngine engine);
 

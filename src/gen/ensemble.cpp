@@ -87,6 +87,10 @@ SampleResult run_sample_job(const SampleJob& job,
   result.engine_fallbacks = engine.stats().fallbacks;
 
   if (job.simulate.enabled) {
+    WP_REQUIRE(!sys.netlist.empty(),
+               "family " + family.name +
+                   " asked for simulation but dressed netlist-free "
+                   "(system.build_netlist = false)");
     // Simulated counterpart of the static bound: the generated netlist's
     // golden/WP1/WP2 triple under the same placement-derived RS demand.
     // The golden run is keyed by the netlist text, so WP1, WP2 and the two
@@ -216,6 +220,54 @@ EnsembleReport run_jobs(const EnsembleConfig& config, ThreadPool* pool) {
 
 }  // namespace
 
+std::vector<FamilySpec> scale_family_specs() {
+  // Horizons from a per-family diameter estimate: the golden run must let
+  // a token cross the network and settle (64 warmup + 16 cycles per hop
+  // of diameter), and the WP horizons keep the stock 6× ratio to the
+  // golden horizon (long enough to average out relay-station beat
+  // patterns). BA diameter grows ~log2 n; a rows×cols mesh's is
+  // rows+cols. Anneal budgets shrink with n so a scale sweep stays
+  // within a CI bench budget — per-sample cost is what the kParallel
+  // engine attacks, not what this spec should hide.
+  const auto horizons = [](FamilySpec& f, int diameter) {
+    f.golden_cycles = 64 + 16 * static_cast<std::uint64_t>(diameter);
+    f.wp_cycles = 6 * f.golden_cycles;
+  };
+  std::vector<FamilySpec> families;
+  for (const int nodes : {256, 512, 1024}) {
+    FamilySpec ba;
+    ba.name = "ba-" + std::to_string(nodes);
+    ba.topology.family = TopologyFamily::kBarabasiAlbert;
+    ba.topology.num_nodes = nodes;
+    ba.topology.ba_attach = 2;
+    ba.anneal_iterations = nodes >= 1024 ? 300 : nodes >= 512 ? 450 : 700;
+    // Scale-free hubs at these sizes exceed the randommoore 32-input
+    // port model; the BA families dress floorplan/throughput-only, so
+    // the anneal → RS demand → min-cycle-ratio pipeline runs in full
+    // while simulation stays a mesh-family capability.
+    ba.system.build_netlist = false;
+    int log2n = 0;
+    while ((1 << log2n) < nodes) ++log2n;
+    horizons(ba, log2n);
+    families.push_back(std::move(ba));
+  }
+  const int mesh_dims[][2] = {{16, 16}, {16, 32}, {32, 32}};
+  for (const auto& dims : mesh_dims) {
+    const int nodes = dims[0] * dims[1];
+    FamilySpec mesh;
+    mesh.name = "mesh-" + std::to_string(dims[0]) + "x" +
+                std::to_string(dims[1]);
+    mesh.topology.family = TopologyFamily::kMesh;
+    mesh.topology.num_nodes = nodes;
+    mesh.topology.mesh_rows = dims[0];
+    mesh.topology.mesh_cols = dims[1];
+    mesh.anneal_iterations = nodes >= 1024 ? 300 : nodes >= 512 ? 450 : 700;
+    horizons(mesh, dims[0] + dims[1]);
+    families.push_back(std::move(mesh));
+  }
+  return families;
+}
+
 std::vector<SampleJob> ensemble_jobs(const EnsembleConfig& config) {
   WP_REQUIRE(!config.families.empty(), "ensemble needs at least one family");
   WP_REQUIRE(config.samples_per_family > 0,
@@ -230,6 +282,13 @@ std::vector<SampleJob> ensemble_jobs(const EnsembleConfig& config) {
       job.sample = s;
       job.ensemble_seed = config.seed;
       job.simulate = config.simulate;
+      // Diameter-scaled horizons: a family that declares its own
+      // simulation horizons overrides the ensemble-wide ones, so one
+      // config can mix 24-node and 1024-node families without simulating
+      // the former too long or the latter too short.
+      if (family.golden_cycles > 0)
+        job.simulate.golden_cycles = family.golden_cycles;
+      if (family.wp_cycles > 0) job.simulate.wp_cycles = family.wp_cycles;
       job.anneal = config.anneal;
       job.max_cycle_enumeration = config.max_cycle_enumeration;
       jobs.push_back(std::move(job));

@@ -40,9 +40,19 @@ struct FamilySpec {
   TopologyConfig topology;
   SystemConfig system;
   /// Per-family override of EnsembleConfig::anneal.iterations; 0 keeps the
-  /// ensemble-wide budget. Lets large families (128–256 nodes) ride in the
-  /// default set with a smaller per-sample budget.
+  /// ensemble-wide budget. Lets large families (128–1024 nodes) ride in
+  /// the default set with a smaller per-sample budget.
   int anneal_iterations = 0;
+  /// Per-family overrides of the simulation horizons
+  /// (EnsembleSimOptions::golden_cycles / wp_cycles); 0 keeps the
+  /// ensemble-wide values. A fixed horizon stops making sense once
+  /// families span 24–1024 nodes: a token must cross the whole network
+  /// (plus relay stations) before throughput stabilizes, so the horizon
+  /// must scale with the topology *diameter* — long for a 32×32 mesh,
+  /// nearly flat for a scale-free BA graph whose diameter grows ~log n.
+  /// scale_family_specs() fills these from a per-family diameter estimate.
+  std::uint64_t golden_cycles = 0;
+  std::uint64_t wp_cycles = 0;
 };
 
 /// Opt-in simulated-throughput mode: run every sample's generated
@@ -169,6 +179,16 @@ struct SampleJob {
   fplan::AnnealOptions anneal;
   std::size_t max_cycle_enumeration = 20000;
 };
+
+/// The 256/512/1024-node scale substrate: Barabási–Albert (the hub-heavy
+/// regime where global-move dirty fractions are largest) and 2D mesh (the
+/// regular NoC fabric) families with per-family anneal budgets and
+/// diameter-scaled simulation horizons — BA diameters grow ~log n so
+/// horizons stay nearly flat, mesh diameters grow as rows+cols so the
+/// 32×32 fabric gets the long horizon it needs. These are the instances
+/// PackEngine::kParallel exists for, and the substrate the trace-informed
+/// demand work will stress.
+std::vector<FamilySpec> scale_family_specs();
 
 /// The arithmetic per-sample seed: keyed on the family *name* (not index)
 /// so filtered/reordered/sharded runs reproduce full-run rows bit for bit.

@@ -58,7 +58,11 @@ GeneratedSystem dress_topology(const graph::Digraph& topology,
 
   // Netlist: a randommoore block per node, ports sized to its fan-in/out;
   // channel k out of node u leaves port out<k>, channel j into node v
-  // enters port in<j> (ordinals follow edge-id order).
+  // enters port in<j> (ordinals follow edge-id order). Skipped entirely
+  // when the config asks for a netlist-free dressing — the port-limit
+  // preconditions below belong to the randommoore process model, not to
+  // the floorplan/throughput views built above.
+  if (!config.build_netlist) return sys;
   std::vector<int> out_ordinal(static_cast<std::size_t>(topology.num_edges()));
   std::vector<int> in_ordinal(static_cast<std::size_t>(topology.num_edges()));
   for (NodeId n = 0; n < topology.num_nodes(); ++n) {

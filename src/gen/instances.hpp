@@ -30,6 +30,14 @@ struct SystemConfig {
   BlockDistribution blocks;
   /// States per generated randommoore process in the netlist.
   int moore_states = 4;
+  /// Also emit the core netlist view (GeneratedSystem::netlist). The
+  /// netlist's randommoore processes carry a 32-bit input mask, so a node
+  /// of in-degree > 32 cannot be dressed into one — exactly what the
+  /// hubs of scale-free topologies at 256+ nodes produce. Turning this
+  /// off dresses the floorplan/throughput views only (netlist empty, no
+  /// port-limit constraint): the anneal → RS demand → min-cycle-ratio
+  /// pipeline runs in full, simulation is unavailable.
+  bool build_netlist = true;
 };
 
 /// The three coupled views of one synthetic system. Nets and netlist
@@ -41,11 +49,13 @@ struct GeneratedSystem {
   std::string netlist;       ///< core netlist text (default_registry types)
 };
 
-/// Requires every node to have in-degree in [1, 32] and out-degree >= 1
-/// (RandomMooreProcess port limits) — guaranteed by generators run with
-/// ensure_strongly_connected. Deterministic in rng. The netlist's rs=
-/// annotations mirror the topology's edge counts; the ensemble pipeline
-/// overrides them with placement-derived demand.
+/// When config.build_netlist is set (the default), requires every node to
+/// have in-degree in [1, 32] and out-degree >= 1 (RandomMooreProcess port
+/// limits) — guaranteed by generators run with ensure_strongly_connected
+/// at modest sizes; scale-free families at 256+ nodes grow hubs past the
+/// limit and must dress netlist-free. Deterministic in rng. The netlist's
+/// rs= annotations mirror the topology's edge counts; the ensemble
+/// pipeline overrides them with placement-derived demand.
 GeneratedSystem dress_topology(const graph::Digraph& topology,
                                const SystemConfig& config, Rng& rng);
 

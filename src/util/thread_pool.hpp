@@ -54,12 +54,24 @@ class ThreadPool {
   /// chunks still complete, and the first (by chunk order) exception is
   /// rethrown to the caller.
   ///
+  /// `grain` controls the chunking. 0 (the default) picks a few chunks per
+  /// worker automatically — right for coarse bodies like annealing
+  /// restarts. grain > 0 dispatches ⌈count/grain⌉ contiguous chunks of
+  /// exactly `grain` indices (the last may be shorter), a *deterministic*
+  /// partition: index i always lands in chunk (i - begin) / grain, and no
+  /// two chunks overlap, so callers may key chunk-affine scratch (e.g. a
+  /// per-chunk evaluation arena) off that quotient without synchronising.
+  /// It also bounds dispatch overhead for small bodies: one queue
+  /// round-trip per grain indices instead of per worker×4 slice.
+  ///
   /// Re-entrant: when called from a task already running on this pool the
   /// range executes inline on the calling worker instead — blocking on
   /// futures there could deadlock once every worker waits on chunks none
-  /// of them can dequeue.
+  /// of them can dequeue. The grain partition is irrelevant inline (one
+  /// thread walks the whole range in order).
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 0);
 
   /// Process-wide default pool, created on first use with the hardware
   /// concurrency. Intended for benches and examples; library entry points

@@ -474,6 +474,79 @@ TEST(Ensemble, PerFamilyAnnealIterationsOverride) {
   EXPECT_FALSE(a.samples == c.samples);
 }
 
+TEST(Ensemble, ScaleFamiliesSequentialPooledAndParallelEngineAgree) {
+  // The 256–1024-node scale substrate: sequential ≡ pooled must hold at
+  // the new sizes, and the kParallel engine must land on the identical
+  // samples (its fan-out degrades to inline evaluation on pool workers —
+  // same trajectory either way, by the bit-identity law). Budgets are
+  // test-sized: the full-horizon runs live in bench_ensembles.
+  EnsembleConfig config;
+  config.seed = 91;
+  config.samples_per_family = 1;
+  config.max_cycle_enumeration = 0;  // Johnson on 1024 nodes is a bench
+  for (FamilySpec family : scale_family_specs()) {
+    if (family.name == "ba-512" || family.name == "mesh-16x32") continue;
+    family.anneal_iterations = 60;
+    config.families.push_back(std::move(family));
+  }
+  ASSERT_EQ(config.families.size(), 4u);  // 256 + 1024, ba + mesh
+
+  const EnsembleReport sequential = run_ensemble_sequential(config);
+  ThreadPool pool(3);
+  const EnsembleReport pooled = run_ensemble(config, &pool);
+  EXPECT_TRUE(sequential.samples == pooled.samples);
+  for (const auto& s : sequential.samples) {
+    EXPECT_GT(s.throughput, 0.0);
+    EXPECT_GT(s.area, 0.0);
+    EXPECT_EQ(s.cycles, -1);
+  }
+  EXPECT_EQ(sequential.samples[0].nodes, 256);
+  EXPECT_EQ(sequential.samples[1].nodes, 1024);
+
+  config.anneal.pack_engine = fplan::PackEngine::kParallel;
+  const EnsembleReport parallel_engine = run_ensemble(config, &pool);
+  EXPECT_TRUE(sequential.samples == parallel_engine.samples);
+}
+
+TEST(Ensemble, ScaleFamilyHorizonsAreDiameterScaled) {
+  const std::vector<FamilySpec> families = scale_family_specs();
+  ASSERT_EQ(families.size(), 6u);
+  std::uint64_t ba_prev = 0;
+  std::uint64_t mesh_prev = 0;
+  for (const auto& family : families) {
+    EXPECT_GT(family.golden_cycles, 0u) << family.name;
+    EXPECT_EQ(family.wp_cycles, 6 * family.golden_cycles) << family.name;
+    EXPECT_GT(family.anneal_iterations, 0) << family.name;
+    if (family.topology.family == TopologyFamily::kBarabasiAlbert) {
+      EXPECT_GE(family.golden_cycles, ba_prev) << family.name;
+      ba_prev = family.golden_cycles;
+    } else {
+      EXPECT_GT(family.golden_cycles, mesh_prev) << family.name;
+      mesh_prev = family.golden_cycles;
+    }
+  }
+  // Diameter, not node count, drives the horizon: the 1024-node mesh
+  // (diameter 64) needs a far longer run than the 1024-node BA graph
+  // (diameter ~log n).
+  EXPECT_GT(mesh_prev, 3 * ba_prev);
+}
+
+TEST(Ensemble, FamilyHorizonOverridesLandInJobs) {
+  EnsembleConfig config = small_ensemble();
+  config.simulate.enabled = true;
+  config.simulate.golden_cycles = 256;
+  config.simulate.wp_cycles = 1536;
+  config.families[0].golden_cycles = 512;   // ba-10 overrides both
+  config.families[0].wp_cycles = 3072;
+  // mesh-3x3 keeps the ensemble-wide horizons (overrides stay 0).
+  const std::vector<SampleJob> jobs = ensemble_jobs(config);
+  ASSERT_EQ(jobs.size(), 6u);
+  EXPECT_EQ(jobs[0].simulate.golden_cycles, 512u);
+  EXPECT_EQ(jobs[0].simulate.wp_cycles, 3072u);
+  EXPECT_EQ(jobs[3].simulate.golden_cycles, 256u);
+  EXPECT_EQ(jobs[3].simulate.wp_cycles, 1536u);
+}
+
 TEST(Ensemble, CsvRowCounts) {
   const EnsembleConfig config = small_ensemble();
   const EnsembleReport report = run_ensemble_sequential(config);

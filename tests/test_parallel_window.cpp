@@ -1,0 +1,226 @@
+// Differential guardrail for the parallel speculative engine:
+// PackEngine::kParallel must reproduce the serial annealing trajectory
+// *bitwise* — same accepted moves, same placements, same RNG consumption,
+// same oracle query stream — at every thread count and window size K.
+// Also pins down the wasted-speculation accounting (drawn = used + wasted
+// exactly, thread-count-invariant), the revert/commit chain of the
+// ParallelWindowEvaluator against naive pack(), and the window auto-scale.
+//
+// This file runs under Debug, ASan/UBSan and TSan in CI; the fan-out and
+// commit-resync paths here are the repo's concurrent packing surface.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "floorplan/annealer.hpp"
+#include "floorplan/instances.hpp"
+#include "floorplan/model.hpp"
+#include "floorplan/pack_engine.hpp"
+#include "floorplan/parallel_pack.hpp"
+#include "floorplan/sequence_pair.hpp"
+#include "graph/throughput.hpp"
+#include "proc/cpu.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wp::fplan {
+namespace {
+
+::testing::AssertionResult results_identical(const AnnealResult& a,
+                                             const AnnealResult& b) {
+  if (a.cost != b.cost || a.area != b.area ||
+      a.wirelength != b.wirelength || a.throughput != b.throughput ||
+      a.accepted_moves != b.accepted_moves ||
+      a.evaluations != b.evaluations ||
+      a.sequence_pair.positive != b.sequence_pair.positive ||
+      a.sequence_pair.negative != b.sequence_pair.negative ||
+      a.placement.x != b.placement.x || a.placement.y != b.placement.y) {
+    return ::testing::AssertionFailure()
+           << "trajectories diverge: cost " << a.cost << " vs " << b.cost
+           << ", accepted " << a.accepted_moves << " vs "
+           << b.accepted_moves << ", evaluations " << a.evaluations
+           << " vs " << b.evaluations;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(ParallelWindow, TrajectoryMatchesSerialAcrossThreadsAndWindows) {
+  const Instance inst = synthetic_instance(24, 9);
+  AnnealOptions serial;
+  serial.iterations = 2000;
+  serial.seed = 31;
+  serial.pack_engine = PackEngine::kNaive;
+  const AnnealResult reference = anneal(inst, serial);
+  serial.pack_engine = PackEngine::kBatched;
+  const AnnealResult batched = anneal(inst, serial);
+  ASSERT_TRUE(results_identical(reference, batched));
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    wp::ThreadPool pool(threads);
+    // For a fixed K the speculation accounting is thread-count-invariant
+    // (window boundaries depend only on the accept/reject trajectory);
+    // remember the K=4 run of each thread count and compare them below.
+    for (const std::size_t k : {std::size_t{4}, std::size_t{16},
+                                std::size_t{64}}) {
+      AnnealOptions par = serial;
+      par.pack_engine = PackEngine::kParallel;
+      par.eval_pool = &pool;
+      par.parallel_window = k;
+      const AnnealResult result = anneal(inst, par);
+      EXPECT_TRUE(results_identical(reference, result))
+          << threads << " threads, K=" << k;
+      // Exact accounting: every drawn candidate is either consumed by the
+      // serial scan (one per iteration) or wasted past a commit point.
+      EXPECT_EQ(result.parallel_drawn - result.parallel_wasted,
+                static_cast<std::uint64_t>(result.evaluations))
+          << threads << " threads, K=" << k;
+      EXPECT_GE(result.parallel_windows,
+                static_cast<std::uint64_t>(serial.iterations) / k);
+    }
+  }
+
+  // Accounting is deterministic in (instance, seed, K) alone: 1-thread
+  // and 8-thread runs must report identical speculation stats.
+  wp::ThreadPool one(1), eight(8);
+  AnnealOptions par = serial;
+  par.pack_engine = PackEngine::kParallel;
+  par.parallel_window = 16;
+  par.eval_pool = &one;
+  const AnnealResult narrow = anneal(inst, par);
+  par.eval_pool = &eight;
+  const AnnealResult wide = anneal(inst, par);
+  EXPECT_EQ(narrow.parallel_windows, wide.parallel_windows);
+  EXPECT_EQ(narrow.parallel_drawn, wide.parallel_drawn);
+  EXPECT_EQ(narrow.parallel_wasted, wide.parallel_wasted);
+}
+
+TEST(ParallelWindow, ThroughputDrivenTrajectoryAndOracleStreamMatch) {
+  // The stateful throughput oracle (and its memo cache) stays on the
+  // serial retirement path: the query stream — and therefore the
+  // eval/cache-hit counters — must match the serial engines exactly.
+  const Instance inst = cpu_instance();
+  const auto graph = wp::proc::make_cpu_graph();
+  AnnealOptions serial;
+  serial.iterations = 800;
+  serial.seed = 23;
+  serial.weight_throughput = 200.0;
+  serial.delay_model.clock_ps = 300.0;
+  serial.throughput_fn = wp::graph::ThroughputEvaluator(graph);
+  serial.pack_engine = PackEngine::kNaive;
+  const AnnealResult reference = anneal(inst, serial);
+
+  wp::ThreadPool pool(4);
+  AnnealOptions par = serial;
+  par.throughput_fn = wp::graph::ThroughputEvaluator(graph);
+  par.pack_engine = PackEngine::kParallel;
+  par.eval_pool = &pool;
+  par.parallel_window = 8;
+  const AnnealResult result = anneal(inst, par);
+  EXPECT_TRUE(results_identical(reference, result));
+  EXPECT_EQ(reference.throughput_evals, result.throughput_evals);
+  EXPECT_EQ(reference.throughput_cache_hits, result.throughput_cache_hits);
+}
+
+TEST(ParallelWindow, WastedSpeculationAccountingIsExact) {
+  const Instance inst = synthetic_instance(12, 4);
+  wp::ThreadPool pool(2);
+  wp::Rng rng(7);
+  SequencePair sp = SequencePair::random(inst.blocks.size(), rng);
+  ParallelWindowOptions options;
+  options.window = 8;
+  ParallelWindowEvaluator evaluator(inst, sp, &pool, options);
+
+  // Window 1: six candidates drawn, committed at index 2 → three used
+  // (indices 0..2), three wasted.
+  {
+    const auto& window = evaluator.speculate(sp, rng, 6);
+    apply_move(sp, window[2].move);
+    evaluator.commit(2);
+  }
+  EXPECT_EQ(1u, evaluator.stats().windows);
+  EXPECT_EQ(6u, evaluator.stats().drawn);
+  EXPECT_EQ(3u, evaluator.stats().used);
+  EXPECT_EQ(3u, evaluator.stats().wasted);
+  EXPECT_EQ(1u, evaluator.stats().commits);
+
+  // Window 2: four drawn, discarded → all four consumed, none wasted.
+  evaluator.speculate(sp, rng, 4);
+  evaluator.discard();
+  EXPECT_EQ(2u, evaluator.stats().windows);
+  EXPECT_EQ(10u, evaluator.stats().drawn);
+  EXPECT_EQ(7u, evaluator.stats().used);
+  EXPECT_EQ(3u, evaluator.stats().wasted);
+  EXPECT_EQ(1u, evaluator.stats().commits);
+
+  // Window 3: committed at the last index → nothing wasted.
+  {
+    const auto& window = evaluator.speculate(sp, rng, 3);
+    apply_move(sp, window[2].move);
+    evaluator.commit(2);
+  }
+  EXPECT_EQ(3u, evaluator.stats().windows);
+  EXPECT_EQ(13u, evaluator.stats().drawn);
+  EXPECT_EQ(10u, evaluator.stats().used);
+  EXPECT_EQ(3u, evaluator.stats().wasted);
+  EXPECT_EQ(2u, evaluator.stats().commits);
+}
+
+TEST(ParallelWindow, RevertCommitChainMatchesNaivePack) {
+  const Instance inst = synthetic_instance(18, 6);
+  wp::ThreadPool pool(3);
+  wp::Rng rng(11);
+  SequencePair sp = SequencePair::random(inst.blocks.size(), rng);
+  ParallelWindowOptions options;
+  options.window = 5;
+  ParallelWindowEvaluator evaluator(inst, sp, &pool, options);
+  EXPECT_EQ(pack(inst, sp).x, evaluator.placement().x);
+
+  // Drive several windows: every candidate's worker-computed area and
+  // wirelength must equal a from-scratch naive evaluation of
+  // baseline+move, and after each commit the evaluator's baseline must
+  // equal naive pack() of the updated pair — the revert/commit chain
+  // never leaks state between candidates or windows.
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.below(5));
+    const auto& window = evaluator.speculate(sp, rng, k);
+    for (std::size_t t = 0; t < k; ++t) {
+      SequencePair probe = sp;
+      apply_move(probe, window[t].move);
+      const Placement expected = pack(inst, probe);
+      EXPECT_EQ(expected.area(), window[t].area) << "round " << round;
+      EXPECT_EQ(total_wirelength(inst, expected), window[t].wirelength)
+          << "round " << round;
+    }
+    if (round % 2 == 0) {
+      const std::size_t t = static_cast<std::size_t>(rng.below(k));
+      apply_move(sp, window[t].move);
+      evaluator.commit(t);
+      const Placement expected = pack(inst, sp);
+      EXPECT_EQ(expected.x, evaluator.placement().x) << "round " << round;
+      EXPECT_EQ(expected.y, evaluator.placement().y) << "round " << round;
+    } else {
+      evaluator.discard();
+    }
+  }
+}
+
+TEST(ParallelWindow, WindowAutoScalesToPoolWidth) {
+  const Instance inst = synthetic_instance(8, 2);
+  wp::Rng rng(3);
+  const SequencePair sp = SequencePair::random(inst.blocks.size(), rng);
+  wp::ThreadPool pool(4);
+  ParallelWindowEvaluator evaluator(inst, sp, &pool, {});
+  EXPECT_EQ(8u, evaluator.window());  // 2 × pool width
+  EXPECT_EQ(4u, evaluator.slots());
+
+  wp::ThreadPool one(1);
+  ParallelWindowEvaluator narrow(inst, sp, &one, {});
+  EXPECT_EQ(2u, narrow.window());  // floor: speculation needs depth ≥ 2
+  EXPECT_EQ(1u, narrow.slots());
+}
+
+}  // namespace
+}  // namespace wp::fplan
